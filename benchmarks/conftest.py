@@ -1,0 +1,37 @@
+"""Shared helpers for the figure-regeneration benchmarks.
+
+Each ``test_fig*.py`` / ``test_listing*.py`` file regenerates one table
+or figure from the paper's evaluation (section VII): it runs the full
+experiment inside the benchmark, prints the paper-style rows, persists
+them under ``benchmarks/results/`` and asserts the paper's qualitative
+*shape* (who wins, by roughly what factor, where the crossovers are).
+Absolute numbers differ from the paper — their substrate was the FABRIC
+testbed, ours is a deterministic simulator — as documented in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.harness.report import render_table, save_result
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+# The paper's three stacks and four failure points.
+ALL_CASES = ("TC1", "TC2", "TC3", "TC4")
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    return RESULTS_DIR
+
+
+def emit(results_dir: Path, name: str, title: str, columns, rows, note="") -> str:
+    text = render_table(title, columns, rows, note=note)
+    save_result(results_dir, name, text)
+    print()
+    print(text)
+    return text

@@ -1,0 +1,69 @@
+"""Simulator performance — the substrate's own cost.
+
+Per the profile-before-you-trust discipline: raw event-engine
+throughput, protocol bring-up cost per fabric size, and the cost of one
+complete failure experiment.  These are the numbers that bound how far
+the scalability extension can push (events scale with routers x timers x
+simulated seconds).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.units import SECOND
+from repro.topology.clos import ClosParams
+from repro.harness.experiments import (
+    StackKind,
+    build_and_converge,
+    run_failure_experiment,
+)
+
+
+def test_raw_event_throughput(benchmark):
+    """Schedule+dispatch cost of the bare engine (no protocols)."""
+    N = 200_000
+
+    def churn():
+        sim = Simulator()
+
+        def tick(i=[0]):
+            i[0] += 1
+            if i[0] < N:
+                sim.schedule_after(1, tick)
+
+        # seed a fan of timers to keep the heap non-trivial
+        for t in range(1, 1000):
+            sim.schedule_at(t * 7, lambda: None)
+        sim.schedule_after(1, tick)
+        sim.run()
+        return sim.events_processed
+
+    processed = benchmark(churn)
+    assert processed >= N
+
+
+@pytest.mark.parametrize("pods", [2, 4, 8])
+def test_fabric_convergence_cost(benchmark, pods):
+    """Wall-clock cost of building + converging an MR-MTP fabric."""
+    params = ClosParams(num_pods=pods)
+
+    def converge():
+        world, topo, dep = build_and_converge(params, StackKind.MTP,
+                                              trace_enabled=False)
+        return world.sim.events_processed
+
+    events = benchmark.pedantic(converge, rounds=1, iterations=1)
+    assert events > 0
+
+
+def test_full_failure_experiment_cost(benchmark):
+    """One complete TC1 run (build, converge, fail, measure) — the unit
+    of work every figure multiplies."""
+    result = benchmark.pedantic(
+        lambda: run_failure_experiment(ClosParams(num_pods=2),
+                                       StackKind.BGP, "TC1"),
+        rounds=1, iterations=1,
+    )
+    assert result.convergence_us > 0

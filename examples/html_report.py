@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Generate a self-contained HTML report of the paper's headline figures
+(convergence, blast radius, control overhead, packet loss) from live
+experiment runs — charts plus data tables, no external dependencies.
+
+Run:  python examples/html_report.py [--out report.html] [--pods 2]
+"""
+
+import argparse
+from pathlib import Path
+
+from repro.harness.experiments import (
+    StackKind,
+    run_failure_experiment,
+    run_packet_loss_experiment,
+)
+from repro.harness.htmlreport import (
+    SeriesSet,
+    dot_plot_log,
+    grouped_bar_chart,
+    render_report,
+)
+from repro.topology.clos import ClosParams
+
+CASES = ("TC1", "TC2", "TC3", "TC4")
+STACKS = (StackKind.MTP, StackKind.BGP, StackKind.BGP_BFD)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", type=Path, default=Path("report.html"))
+    parser.add_argument("--pods", type=int, default=2)
+    args = parser.parse_args()
+    params = ClosParams(num_pods=args.pods)
+
+    failure = {
+        (kind, case): run_failure_experiment(params, kind, case)
+        for kind in STACKS for case in CASES
+    }
+    loss_near = {
+        (kind, case): run_packet_loss_experiment(params, kind, case,
+                                                 direction="near")
+        for kind in STACKS for case in CASES
+    }
+
+    names = [k.value for k in STACKS]
+
+    def series(metric):
+        return [[metric(failure[(kind, case)]) for case in CASES]
+                for kind in STACKS]
+
+    blocks = [
+        dot_plot_log(
+            "Fig. 4 — convergence time after an interface failure",
+            SeriesSet(CASES, names,
+                      [[max(v, 0.01) for v in row]
+                       for row in series(lambda r: r.convergence_ms)]),
+            unit="ms",
+            note="TC1/TC3: the far end detects via its dead/hold timer; "
+                 "TC2/TC4: the failing router detects locally and "
+                 "converges faster than detection.",
+        ),
+        grouped_bar_chart(
+            "Fig. 5 — blast radius (routers that updated tables)",
+            SeriesSet(CASES, names, series(lambda r: r.blast_radius)),
+            unit="routers",
+        ),
+        grouped_bar_chart(
+            "Fig. 6 — control overhead (bytes of update messages)",
+            SeriesSet(CASES, names, series(lambda r: r.control_bytes)),
+            unit="bytes",
+            note="MR-MTP's cascade costs ~123 B in the 2-PoD "
+                 "(paper: 120 B); BGP's is several times larger.",
+        ),
+        grouped_bar_chart(
+            "Fig. 7 — packets lost, sender near the failure (1000 pps)",
+            SeriesSet(CASES, names,
+                      [[loss_near[(kind, case)].lost for case in CASES]
+                       for kind in STACKS]),
+            unit="packets",
+            note="Loss is one failure-detection window of the flow: "
+                 "100 ms (MR-MTP), ~300 ms (BFD) or the ~3 s hold time "
+                 "(plain BGP).",
+        ),
+    ]
+    out = render_report(
+        f"MR-MTP vs BGP/ECMP/BFD — {args.pods}-PoD folded-Clos",
+        "Reproduction of 'New Techniques to Route in Folded-Clos Topology "
+        "Data Center Networks' (SC 2024); simulated fabric, paper timers "
+        "(BGP 1 s/3 s, BFD 100 ms x3, MR-MTP 50 ms/100 ms).",
+        blocks, args.out,
+    )
+    print(f"wrote {out} ({out.stat().st_size} bytes)")
+
+
+if __name__ == "__main__":
+    main()

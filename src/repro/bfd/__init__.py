@@ -1,0 +1,20 @@
+"""Bidirectional Forwarding Detection (RFC 5880, asynchronous mode).
+
+The sub-second failure detector the paper enables under BGP: 24-byte
+control packets in UDP/3784 (66 bytes at L2), 100 ms transmit interval,
+detect multiplier 3 (300 ms detection) — the exact configuration of the
+paper's section VI.F.
+"""
+
+from repro.bfd.messages import BfdControlPacket, BfdState, BFD_CONTROL_BYTES, BFD_PORT
+from repro.bfd.session import BfdSession, BfdManager, BfdTimers
+
+__all__ = [
+    "BfdControlPacket",
+    "BfdState",
+    "BFD_CONTROL_BYTES",
+    "BFD_PORT",
+    "BfdSession",
+    "BfdManager",
+    "BfdTimers",
+]

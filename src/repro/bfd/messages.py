@@ -1,0 +1,49 @@
+"""BFD control packets (RFC 5880 section 4.1).
+
+The mandatory section is 24 bytes; with UDP+IP+Ethernet that is the
+66-byte packet the paper's Fig. 9 capture shows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+BFD_CONTROL_BYTES = 24
+BFD_PORT = 3784  # single-hop BFD (RFC 5881)
+BFD_VERSION = 1
+
+
+class BfdState(IntEnum):
+    ADMIN_DOWN = 0
+    DOWN = 1
+    INIT = 2
+    UP = 3
+
+
+@dataclass(frozen=True)
+class BfdControlPacket:
+    state: BfdState
+    detect_mult: int
+    my_discriminator: int
+    your_discriminator: int
+    desired_min_tx_us: int
+    required_min_rx_us: int
+    poll: bool = False
+    final: bool = False
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.detect_mult <= 255:
+            raise ValueError(f"bad detect multiplier {self.detect_mult}")
+        if self.my_discriminator == 0:
+            raise ValueError("my_discriminator must be nonzero (RFC 5880 4.1)")
+
+    @property
+    def wire_size(self) -> int:
+        return BFD_CONTROL_BYTES
+
+    def __str__(self) -> str:
+        return (
+            f"BFD[{self.state.name} mult={self.detect_mult} "
+            f"my={self.my_discriminator} your={self.your_discriminator}]"
+        )

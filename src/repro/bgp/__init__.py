@@ -1,0 +1,46 @@
+"""eBGP for data centers (RFC 7938 flavour, FRRouting-style defaults).
+
+The baseline protocol suite of the paper: external BGP sessions on every
+fabric link, per-tier ASN plan, multipath over equal-length AS paths
+(ECMP), MinRouteAdvertisementInterval, hold/keepalive timers, optional
+BFD-driven fast failure detection, and fast fallover on local interface
+down.  Messages are encoded to real RFC 4271 wire bytes so capture-based
+overhead accounting matches what tshark would report.
+"""
+
+from repro.bgp.messages import (
+    BgpMessage,
+    BgpOpen,
+    BgpUpdate,
+    BgpKeepalive,
+    BgpNotification,
+    PathAttributes,
+    BGP_HEADER_BYTES,
+    BGP_PORT,
+)
+from repro.bgp.encoding import encode_message, decode_message
+from repro.bgp.config import BgpConfig, BgpNeighborConfig, BgpTimers, rfc7938_asn_plan
+from repro.bgp.rib import AdjRibIn, LocRib, RibEntry
+from repro.bgp.speaker import BgpSpeaker, PeerState
+
+__all__ = [
+    "BgpMessage",
+    "BgpOpen",
+    "BgpUpdate",
+    "BgpKeepalive",
+    "BgpNotification",
+    "PathAttributes",
+    "BGP_HEADER_BYTES",
+    "BGP_PORT",
+    "encode_message",
+    "decode_message",
+    "BgpConfig",
+    "BgpNeighborConfig",
+    "BgpTimers",
+    "rfc7938_asn_plan",
+    "AdjRibIn",
+    "LocRib",
+    "RibEntry",
+    "BgpSpeaker",
+    "PeerState",
+]

@@ -1,0 +1,121 @@
+"""BGP configuration (the paper's Listing 1, as data).
+
+Defaults follow FRR's ``frr defaults datacenter`` profile with the
+timers the paper configures: keepalive 1 s, hold 3 s, MRAI 0.  The
+ASN plan follows RFC 7938 section 5.2 / the paper's Listing 1: one ASN
+for the top-spine layer, one per PoD for its aggregations, one per ToR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.sim.units import MILLISECOND, SECOND
+from repro.stack.addresses import Ipv4Address, Ipv4Network
+from repro.bfd.session import BfdTimers
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.topology.clos import ClosTopology
+
+
+@dataclass(frozen=True)
+class BgpTimers:
+    """Paper section VI.F: `timers bgp 1 3`."""
+
+    keepalive_us: int = 1 * SECOND
+    hold_us: int = 3 * SECOND
+    connect_retry_us: int = 1 * SECOND
+    mrai_us: int = 0  # RFC 7938 recommends MRAI 0 in the DC
+    # update-processing latency per received UPDATE (bgpd work: parse,
+    # decision process, FIB download).  Sub-millisecond on the paper's VMs.
+    processing_us: int = 500
+    # timing noise 0..1 (see MtpTimers.jitter): keepalive periods scale
+    # in [(1-jitter), 1] x interval, processing in [1, 1+jitter]
+    jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.keepalive_us <= 0 or self.hold_us <= 0:
+            raise ValueError("keepalive/hold must be positive")
+        if self.hold_us < self.keepalive_us:
+            raise ValueError("hold timer shorter than keepalive")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+
+
+@dataclass(frozen=True)
+class BgpNeighborConfig:
+    peer_ip: Ipv4Address
+    peer_asn: int
+    interface: str
+    bfd: bool = False
+
+
+@dataclass
+class BgpConfig:
+    asn: int
+    router_id: Ipv4Address
+    neighbors: list[BgpNeighborConfig] = field(default_factory=list)
+    networks: list[Ipv4Network] = field(default_factory=list)
+    multipath: bool = True  # `bestpath as-path multipath-relax`
+    timers: BgpTimers = field(default_factory=BgpTimers)
+    bfd_timers: BfdTimers = field(default_factory=BfdTimers)
+
+    def config_lines(self) -> list[str]:
+        """Render the FRR-style configuration (Listing 1) — the artifact
+        counted in the paper's configuration-cost comparison."""
+        lines = [
+            "frr defaults datacenter",
+            f"router bgp {self.asn}",
+            f" bgp router-id {self.router_id}",
+            f" timers bgp {self.timers.keepalive_us // SECOND}"
+            f" {self.timers.hold_us // SECOND}",
+        ]
+        if self.multipath:
+            lines.append(" bgp bestpath as-path multipath-relax")
+        for nbr in self.neighbors:
+            lines.append(f" neighbor {nbr.peer_ip} remote-as {nbr.peer_asn}")
+            if nbr.bfd:
+                lines.append(f" neighbor {nbr.peer_ip} bfd")
+        for net in self.networks:
+            lines.append(f" network {net}")
+        if any(nbr.bfd for nbr in self.neighbors):
+            lines.append("bfd")
+            lines.append(" profile lowerIntervals")
+            lines.append(
+                f"  transmit-interval {self.bfd_timers.tx_interval_us // MILLISECOND}"
+            )
+            for nbr in self.neighbors:
+                if nbr.bfd:
+                    lines.append(f" peer {nbr.peer_ip}")
+                    lines.append("  profile lowerIntervals")
+        return lines
+
+
+# ----------------------------------------------------------------------
+# RFC 7938 ASN plan for a built fabric
+# ----------------------------------------------------------------------
+SUPER_ASN = 64498
+TOP_ASN_BASE = 64500      # + zone index
+AGG_ASN_BASE = 64513      # + global pod index (matches Listing 1's 64513..)
+TOR_ASN_BASE = 65001      # + global ToR index
+
+
+def rfc7938_asn_plan(topo: "ClosTopology") -> dict[str, int]:
+    """node name -> ASN, per the RFC 7938 tiered plan."""
+    plan: dict[str, int] = {}
+    for name in topo.all_supers():
+        plan[name] = SUPER_ASN
+    for z, zone_tops in enumerate(topo.tops):
+        for plane in zone_tops:
+            for name in plane:
+                plan[name] = TOP_ASN_BASE + z
+    pod_index = 0
+    for zone_aggs in topo.aggs:
+        for pod in zone_aggs:
+            for name in pod:
+                plan[name] = AGG_ASN_BASE + pod_index
+            pod_index += 1
+    for i, name in enumerate(topo.all_tors()):
+        plan[name] = TOR_ASN_BASE + i
+    return plan

@@ -1,0 +1,100 @@
+"""BGP message types (RFC 4271).
+
+``wire_size`` on every message is the length of its real RFC 4271
+encoding (see :mod:`repro.bgp.encoding`), so a KEEPALIVE is 19 bytes and
+rides in an 85-byte L2 frame — the number in the paper's Fig. 9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+
+from repro.stack.addresses import Ipv4Address, Ipv4Network
+
+BGP_PORT = 179
+BGP_HEADER_BYTES = 19  # 16-byte marker + 2 length + 1 type
+
+MSG_OPEN = 1
+MSG_UPDATE = 2
+MSG_NOTIFICATION = 3
+MSG_KEEPALIVE = 4
+
+ORIGIN_IGP = 0
+
+
+def prefix_encoded_len(prefix: Ipv4Network) -> int:
+    """NLRI encoding: 1 length byte + ceil(prefix_len/8) address bytes."""
+    return 1 + (prefix.prefix_len + 7) // 8
+
+
+class BgpMessage:
+    """Base class; concrete messages below."""
+
+    @property
+    def wire_size(self) -> int:
+        from repro.bgp.encoding import encode_message
+
+        return len(encode_message(self))
+
+
+@dataclass(frozen=True)
+class BgpOpen(BgpMessage):
+    asn: int
+    hold_time_s: int
+    router_id: Ipv4Address
+
+    def __post_init__(self) -> None:
+        if not 0 < self.asn < (1 << 32):
+            raise ValueError(f"bad ASN {self.asn}")
+        if not 0 <= self.hold_time_s <= 0xFFFF:
+            raise ValueError(f"bad hold time {self.hold_time_s}")
+
+
+@dataclass(frozen=True)
+class PathAttributes:
+    """The attribute set these experiments need: ORIGIN, AS_PATH (one
+    AS_SEQUENCE segment of 4-octet ASNs), NEXT_HOP."""
+
+    as_path: tuple[int, ...]
+    next_hop: Ipv4Address
+    origin: int = ORIGIN_IGP
+
+    def prepend(self, asn: int, next_hop: Ipv4Address) -> "PathAttributes":
+        return PathAttributes(
+            as_path=(asn, *self.as_path), next_hop=next_hop, origin=self.origin
+        )
+
+    def contains_as(self, asn: int) -> bool:
+        return asn in self.as_path
+
+    def __str__(self) -> str:
+        return f"path={list(self.as_path)} nh={self.next_hop}"
+
+
+@dataclass(frozen=True)
+class BgpUpdate(BgpMessage):
+    withdrawn: tuple[Ipv4Network, ...] = ()
+    nlri: tuple[Ipv4Network, ...] = ()
+    attributes: PathAttributes | None = None
+
+    def __post_init__(self) -> None:
+        if self.nlri and self.attributes is None:
+            raise ValueError("NLRI requires path attributes (RFC 4271 3.1)")
+        if not self.nlri and not self.withdrawn:
+            raise ValueError("empty UPDATE")
+
+
+@dataclass(frozen=True)
+class BgpKeepalive(BgpMessage):
+    pass
+
+
+@dataclass(frozen=True)
+class BgpNotification(BgpMessage):
+    error_code: int
+    error_subcode: int = 0
+
+    # common codes
+    HOLD_TIMER_EXPIRED = 4
+    CEASE = 6

@@ -1,0 +1,119 @@
+"""BGP RIBs and the decision process.
+
+Adj-RIB-In per peer, a Loc-RIB of chosen paths per prefix, and the
+decision rule the datacenter profile reduces to: locally originated
+routes win; otherwise shortest AS path; with multipath-relax all
+equal-length paths are kept for ECMP and the tie-break (lowest neighbor
+address) orders the set deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.stack.addresses import Ipv4Address, Ipv4Network
+from repro.bgp.messages import PathAttributes
+
+
+@dataclass(frozen=True)
+class RibEntry:
+    """One candidate path for a prefix.  ``peer_ip`` is None for locally
+    originated networks."""
+
+    prefix: Ipv4Network
+    attributes: PathAttributes
+    peer_ip: Optional[Ipv4Address]
+
+    @property
+    def is_local(self) -> bool:
+        return self.peer_ip is None
+
+    @property
+    def path_len(self) -> int:
+        return len(self.attributes.as_path)
+
+
+class AdjRibIn:
+    """Routes received from each peer, keyed (peer_ip, prefix)."""
+
+    def __init__(self) -> None:
+        self._by_peer: dict[Ipv4Address, dict[Ipv4Network, PathAttributes]] = {}
+
+    def set(self, peer: Ipv4Address, prefix: Ipv4Network, attrs: PathAttributes) -> None:
+        self._by_peer.setdefault(peer, {})[prefix] = attrs
+
+    def remove(self, peer: Ipv4Address, prefix: Ipv4Network) -> bool:
+        routes = self._by_peer.get(peer)
+        if routes and prefix in routes:
+            del routes[prefix]
+            return True
+        return False
+
+    def remove_peer(self, peer: Ipv4Address) -> list[Ipv4Network]:
+        """Purge everything from a dead peer; returns affected prefixes."""
+        routes = self._by_peer.pop(peer, None)
+        return list(routes) if routes else []
+
+    def candidates(self, prefix: Ipv4Network) -> list[RibEntry]:
+        found = []
+        for peer, routes in self._by_peer.items():
+            attrs = routes.get(prefix)
+            if attrs is not None:
+                found.append(RibEntry(prefix, attrs, peer))
+        return found
+
+    def prefixes_from(self, peer: Ipv4Address) -> list[Ipv4Network]:
+        return list(self._by_peer.get(peer, {}))
+
+    def entry_count(self) -> int:
+        return sum(len(routes) for routes in self._by_peer.values())
+
+
+class LocRib:
+    """Chosen (possibly multipath) entries per prefix."""
+
+    def __init__(self, multipath: bool = True) -> None:
+        self.multipath = multipath
+        self._chosen: dict[Ipv4Network, tuple[RibEntry, ...]] = {}
+
+    @staticmethod
+    def _sort_key(entry: RibEntry):
+        # local first, then shortest path, then lowest neighbor address
+        peer_value = entry.peer_ip.value if entry.peer_ip else -1
+        return (0 if entry.is_local else 1, entry.path_len, peer_value)
+
+    def decide(
+        self, prefix: Ipv4Network, candidates: Iterable[RibEntry]
+    ) -> tuple[RibEntry, ...]:
+        """Run the decision process; store and return the chosen set."""
+        ordered = sorted(candidates, key=self._sort_key)
+        if not ordered:
+            chosen: tuple[RibEntry, ...] = ()
+        elif not self.multipath:
+            chosen = (ordered[0],)
+        else:
+            best = ordered[0]
+            chosen = tuple(
+                e
+                for e in ordered
+                if e.is_local == best.is_local and e.path_len == best.path_len
+            )
+        if chosen:
+            self._chosen[prefix] = chosen
+        else:
+            self._chosen.pop(prefix, None)
+        return chosen
+
+    def chosen(self, prefix: Ipv4Network) -> tuple[RibEntry, ...]:
+        return self._chosen.get(prefix, ())
+
+    def best(self, prefix: Ipv4Network) -> Optional[RibEntry]:
+        chosen = self._chosen.get(prefix)
+        return chosen[0] if chosen else None
+
+    def prefixes(self) -> list[Ipv4Network]:
+        return sorted(self._chosen)
+
+    def __len__(self) -> int:
+        return len(self._chosen)

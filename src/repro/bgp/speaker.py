@@ -1,0 +1,517 @@
+"""The BGP speaker: session FSM, route propagation, FIB download.
+
+One speaker per router.  Sessions ride the node's TCP service; the peer
+with the lower interface address performs the active open (deterministic,
+no collision handling needed).  Failure behaviour mirrors FRR's
+datacenter profile:
+
+* **fast fallover** — a local interface-down event tears the session down
+  immediately (the instant-detection side of the paper's TC cases);
+* **hold timer** — the remote side detects only after ``hold_us`` without
+  keepalives (3 s here), unless
+* **BFD** is enabled, in which case its Down notification (300 ms
+  detection) tears the session down early.
+
+Update propagation: per-prefix decision process; advertisements carry
+only the best path, are suppressed toward peers whose ASN appears in the
+AS_PATH (RFC 4271 9.1.3 sender-side loop check — what keeps Clos routing
+valley-free under the RFC 7938 plan), and are batched per MRAI window
+with shared-attribute packing, so capture byte counts behave like real
+bgpd output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+from repro.sim.timers import PeriodicTimer, Timer
+from repro.stack.addresses import Ipv4Address, Ipv4Network
+from repro.net.interface import Interface
+from repro.net.node import Node
+from repro.iputil.stack import IpStack
+from repro.iputil.tcp import TcpConnection, TcpService
+from repro.routing.table import NextHop, Route
+from repro.bfd.session import BfdManager, BfdSession
+from repro.bgp.config import BgpConfig, BgpNeighborConfig
+from repro.bgp.messages import (
+    BGP_PORT,
+    BgpKeepalive,
+    BgpMessage,
+    BgpNotification,
+    BgpOpen,
+    BgpUpdate,
+    PathAttributes,
+)
+from repro.bgp.rib import AdjRibIn, LocRib, RibEntry
+
+BGP_ROUTE_METRIC = 20  # `proto bgp metric 20`, as in the paper's Listing 3
+
+
+class PeerState(Enum):
+    IDLE = "idle"
+    CONNECT = "connect"
+    OPEN_SENT = "open-sent"
+    OPEN_CONFIRM = "open-confirm"
+    ESTABLISHED = "established"
+
+
+@dataclass
+class _PendingOut:
+    """Adj-RIB-Out changes awaiting the next MRAI flush."""
+
+    withdraw: set[Ipv4Network] = field(default_factory=set)
+    advertise: dict[Ipv4Network, PathAttributes] = field(default_factory=dict)
+
+    def clear(self) -> None:
+        self.withdraw.clear()
+        self.advertise.clear()
+
+    def __bool__(self) -> bool:
+        return bool(self.withdraw or self.advertise)
+
+
+class BgpPeer:
+    """Per-neighbor session state."""
+
+    def __init__(self, speaker: "BgpSpeaker", cfg: BgpNeighborConfig) -> None:
+        self.speaker = speaker
+        self.cfg = cfg
+        self.state = PeerState.IDLE
+        self.conn: Optional[TcpConnection] = None
+        self.local_ip = speaker.stack.address_on(cfg.interface)
+        self.adj_out: dict[Ipv4Network, PathAttributes] = {}
+        self.pending = _PendingOut()
+        self.bfd_session: Optional[BfdSession] = None
+        self.sessions_established = 0
+        sim = speaker.node.sim
+        timers = speaker.config.timers
+        self.hold_timer = Timer(sim, timers.hold_us, self._on_hold_expired,
+                                name=f"hold-{cfg.peer_ip}")
+        self.keepalive_timer = PeriodicTimer(
+            sim, timers.keepalive_us, self._send_keepalive,
+            name=f"ka-{cfg.peer_ip}",
+            jitter=timers.jitter, rng=speaker.rng)
+        self.retry_timer = Timer(sim, timers.connect_retry_us,
+                                 self._retry_connect,
+                                 name=f"retry-{cfg.peer_ip}")
+        self.mrai_timer: Optional[Timer] = None
+        if timers.mrai_us > 0:
+            self.mrai_timer = Timer(sim, timers.mrai_us, self.flush_pending,
+                                    name=f"mrai-{cfg.peer_ip}")
+        self._flush_scheduled = False
+
+    # ------------------------------------------------------------------
+    @property
+    def is_active_opener(self) -> bool:
+        return self.local_ip.value < self.cfg.peer_ip.value
+
+    @property
+    def established(self) -> bool:
+        return self.state is PeerState.ESTABLISHED
+
+    def __repr__(self) -> str:
+        return f"<BgpPeer {self.speaker.node.name}->{self.cfg.peer_ip} {self.state.value}>"
+
+    # ------------------------------------------------------------------
+    # session bring-up
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self.is_active_opener:
+            self._retry_connect()
+
+    def _retry_connect(self) -> None:
+        if self.state is not PeerState.IDLE:
+            return
+        iface = self.speaker.node.interfaces[self.cfg.interface]
+        if not iface.admin_up:
+            self.retry_timer.start()
+            return
+        self.state = PeerState.CONNECT
+        conn = self.speaker.tcp.connect(self.cfg.peer_ip, BGP_PORT,
+                                        local=self.local_ip)
+        self._bind_connection(conn)
+        conn.on_established = self._on_tcp_established
+
+    def accept_connection(self, conn: TcpConnection) -> None:
+        """Incoming TCP connection from this neighbor."""
+        if self.conn is not None:
+            self.conn.on_close = None
+            self.conn.abort()
+        self._bind_connection(conn)
+        self.state = PeerState.CONNECT
+        conn.on_established = self._on_tcp_established
+
+    def _bind_connection(self, conn: TcpConnection) -> None:
+        self.conn = conn
+        conn.on_receive = self._on_message
+        conn.on_close = self._on_tcp_closed
+
+    def _on_tcp_established(self) -> None:
+        self._send(BgpOpen(
+            asn=self.speaker.config.asn,
+            hold_time_s=self.speaker.config.timers.hold_us // 1_000_000,
+            router_id=self.speaker.config.router_id,
+        ))
+        self.state = PeerState.OPEN_SENT
+        self.hold_timer.start()
+
+    def _on_tcp_closed(self, reason: str) -> None:
+        self.down(f"tcp:{reason}")
+
+    # ------------------------------------------------------------------
+    # message handling
+    # ------------------------------------------------------------------
+    def _on_message(self, message) -> None:
+        if not isinstance(message, BgpMessage):
+            return
+        self.hold_timer.restart()
+        if isinstance(message, BgpOpen):
+            self._on_open(message)
+        elif isinstance(message, BgpKeepalive):
+            self._on_keepalive()
+        elif isinstance(message, BgpUpdate):
+            self._on_update(message)
+        elif isinstance(message, BgpNotification):
+            self.down(f"notification:{message.error_code}")
+
+    def _on_open(self, msg: BgpOpen) -> None:
+        if msg.asn != self.cfg.peer_asn:
+            self._send(BgpNotification(BgpNotification.CEASE))
+            self.down("bad-peer-as")
+            return
+        self._send(BgpKeepalive())
+        if self.state is PeerState.OPEN_SENT:
+            self.state = PeerState.OPEN_CONFIRM
+
+    def _on_keepalive(self) -> None:
+        if self.state is PeerState.OPEN_CONFIRM:
+            self._become_established()
+
+    def _on_update(self, msg: BgpUpdate) -> None:
+        if self.state is not PeerState.ESTABLISHED:
+            return
+        self.speaker.node.log("bgp.update.rx",
+                              f"from {self.cfg.peer_ip}",
+                              bytes=msg.wire_size)
+        # model bgpd's processing latency before the decision process runs
+        self.speaker.node.sim.schedule_after(
+            self.speaker.processing_delay(), self.speaker.process_update,
+            self, msg,
+        )
+
+    def _become_established(self) -> None:
+        self.state = PeerState.ESTABLISHED
+        self.sessions_established += 1
+        self.keepalive_timer.start()
+        self.hold_timer.restart()
+        self.speaker.node.log("bgp.session", f"{self.cfg.peer_ip} up")
+        self.speaker.on_peer_established(self)
+
+    # ------------------------------------------------------------------
+    # keepalive / hold
+    # ------------------------------------------------------------------
+    def _send_keepalive(self) -> None:
+        if self.state in (PeerState.ESTABLISHED, PeerState.OPEN_CONFIRM):
+            self._send(BgpKeepalive())
+
+    def _on_hold_expired(self) -> None:
+        self.speaker.node.log("bgp.holdtime", f"{self.cfg.peer_ip} expired")
+        if self.conn is not None and self.established:
+            self._send(BgpNotification(BgpNotification.HOLD_TIMER_EXPIRED))
+        self.down("hold-timer")
+
+    # Ethernet(14) + IPv4(20) + TCP-with-timestamps(32): what a capture
+    # adds on top of the BGP message itself.  Logged byte counts are L2
+    # frame sizes, as the paper's tshark-based accounting measures.
+    _L2_ENCAP_BYTES = 66
+
+    def _send(self, message: BgpMessage) -> None:
+        if self.conn is None:
+            return
+        try:
+            self.conn.send(message)
+        except RuntimeError:
+            return
+        frame_bytes = message.wire_size + self._L2_ENCAP_BYTES
+        if isinstance(message, BgpUpdate):
+            self.speaker.node.log("bgp.update.tx",
+                                  f"to {self.cfg.peer_ip}",
+                                  bytes=frame_bytes)
+        elif isinstance(message, BgpKeepalive):
+            self.speaker.node.log("bgp.keepalive.tx",
+                                  f"to {self.cfg.peer_ip}",
+                                  bytes=frame_bytes)
+
+    # ------------------------------------------------------------------
+    # teardown
+    # ------------------------------------------------------------------
+    def down(self, reason: str) -> None:
+        """Session failure or teardown: purge and schedule reconnection."""
+        was_established = self.established
+        if self.conn is not None:
+            self.conn.on_close = None
+            self.conn.on_receive = None
+            self.conn.abort()
+            self.conn = None
+        self.state = PeerState.IDLE
+        self.hold_timer.stop()
+        self.keepalive_timer.stop()
+        if self.mrai_timer:
+            self.mrai_timer.stop()
+        self.pending.clear()
+        self.adj_out.clear()
+        if was_established:
+            self.speaker.node.log("bgp.session",
+                                  f"{self.cfg.peer_ip} down ({reason})")
+            self.speaker.on_peer_down(self)
+        if self.is_active_opener:
+            self.retry_timer.start()
+
+    # ------------------------------------------------------------------
+    # adj-rib-out
+    # ------------------------------------------------------------------
+    def queue_route(self, prefix: Ipv4Network, best: Optional[RibEntry]) -> None:
+        """Queue the advertisement/withdrawal implied by the new best path."""
+        if not self.established:
+            return
+        if best is None:
+            out_attrs = None
+        elif best.attributes.contains_as(self.cfg.peer_asn):
+            # RFC 4271 9.1.3: do not advertise a route whose AS_PATH
+            # contains the peer's AS
+            out_attrs = None
+        elif best.peer_ip == self.cfg.peer_ip:
+            # no point reflecting the peer's own route back
+            out_attrs = None
+        else:
+            out_attrs = best.attributes.prepend(self.speaker.config.asn,
+                                                self.local_ip)
+        currently = self.adj_out.get(prefix)
+        if out_attrs == currently:
+            return
+        if out_attrs is None:
+            if currently is not None:
+                self.pending.advertise.pop(prefix, None)
+                self.pending.withdraw.add(prefix)
+                self._arm_flush()
+            return
+        self.pending.withdraw.discard(prefix)
+        self.pending.advertise[prefix] = out_attrs
+        self._arm_flush()
+
+    def _arm_flush(self) -> None:
+        timers = self.speaker.config.timers
+        if timers.mrai_us > 0:
+            if not self.mrai_timer.running:
+                self.mrai_timer.start()
+            return
+        if not self._flush_scheduled:
+            self._flush_scheduled = True
+            self.speaker.node.sim.call_soon(self.flush_pending)
+
+    def flush_pending(self) -> None:
+        """Emit queued changes as packed UPDATE messages."""
+        self._flush_scheduled = False
+        if not self.pending or not self.established:
+            self.pending.clear()
+            return
+        withdraw = tuple(sorted(self.pending.withdraw))
+        groups: dict[PathAttributes, list[Ipv4Network]] = {}
+        for prefix, attrs in self.pending.advertise.items():
+            groups.setdefault(attrs, []).append(prefix)
+        self.pending.clear()
+        # apply to adj-rib-out
+        for prefix in withdraw:
+            self.adj_out.pop(prefix, None)
+        for attrs, prefixes in groups.items():
+            for prefix in prefixes:
+                self.adj_out[prefix] = attrs
+        # first message carries the withdrawals (plus one attr group)
+        group_items = sorted(groups.items(),
+                             key=lambda kv: str(sorted(kv[1])[0]))
+        if withdraw and not group_items:
+            self._send(BgpUpdate(withdrawn=withdraw))
+        for i, (attrs, prefixes) in enumerate(group_items):
+            self._send(BgpUpdate(
+                withdrawn=withdraw if i == 0 else (),
+                nlri=tuple(sorted(prefixes)),
+                attributes=attrs,
+            ))
+
+
+class BgpSpeaker:
+    """The per-router BGP process."""
+
+    def __init__(
+        self,
+        node: Node,
+        config: BgpConfig,
+        stack: IpStack,
+        tcp: TcpService,
+        bfd: Optional[BfdManager] = None,
+        rng=None,
+    ) -> None:
+        self.node = node
+        self.config = config
+        self.stack = stack
+        self.tcp = tcp
+        self.bfd = bfd
+        if config.timers.jitter > 0.0 and rng is None:
+            raise ValueError(f"{node.name}: timing jitter requires an rng")
+        self.rng = rng
+        self.rib_in = AdjRibIn()
+        self.loc_rib = LocRib(multipath=config.multipath)
+        self.peers: dict[Ipv4Address, BgpPeer] = {}
+        self._iface_to_peers: dict[str, list[BgpPeer]] = {}
+        tcp.listen(BGP_PORT, self._on_accept)
+        node.on_interface_down(self._on_iface_down)
+        node.on_interface_up(self._on_iface_up)
+        node.bgp = self
+        for nbr in config.neighbors:
+            peer = BgpPeer(self, nbr)
+            self.peers[nbr.peer_ip] = peer
+            self._iface_to_peers.setdefault(nbr.interface, []).append(peer)
+            if nbr.bfd:
+                if bfd is None:
+                    raise ValueError(
+                        f"{node.name}: neighbor {nbr.peer_ip} wants BFD but "
+                        "no BfdManager supplied"
+                    )
+                peer.bfd_session = bfd.create_session(
+                    nbr.peer_ip, peer.local_ip, config.bfd_timers,
+                    on_state_change=self._on_bfd_state,
+                )
+        # local networks enter the Loc-RIB before any session starts
+        for network in config.networks:
+            self._decide(network)
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin connecting to neighbors."""
+        for peer in self.peers.values():
+            peer.start()
+
+    def processing_delay(self) -> int:
+        """Per-update bgpd latency, scaled by the timing noise."""
+        timers = self.config.timers
+        if timers.jitter == 0.0:
+            return timers.processing_us
+        return max(1, int(self.rng.uniform(1.0, 1.0 + timers.jitter)
+                          * timers.processing_us))
+
+    def all_established(self) -> bool:
+        return all(p.established for p in self.peers.values())
+
+    # ------------------------------------------------------------------
+    # TCP accept / interface / BFD events
+    # ------------------------------------------------------------------
+    def _on_accept(self, conn: TcpConnection) -> None:
+        peer = self.peers.get(conn.remote)
+        if peer is None:
+            conn.abort()
+            return
+        peer.accept_connection(conn)
+
+    def _on_iface_down(self, iface: Interface) -> None:
+        # FRR fast fallover: directly connected eBGP drops instantly
+        for peer in self._iface_to_peers.get(iface.name, ()):
+            peer.down("interface-down")
+
+    def _on_iface_up(self, iface: Interface) -> None:
+        for peer in self._iface_to_peers.get(iface.name, ()):
+            if peer.bfd_session is not None:
+                peer.bfd_session.admin_reset()
+            if peer.is_active_opener and peer.state is PeerState.IDLE:
+                peer.retry_timer.start()
+
+    def _on_bfd_state(self, session: BfdSession, is_up: bool) -> None:
+        if is_up:
+            return
+        peer = self.peers.get(session.peer)
+        if peer is not None and peer.established:
+            self.node.log("bgp.bfd", f"{session.peer} BFD down -> session down")
+            peer.down("bfd")
+
+    # ------------------------------------------------------------------
+    # route processing
+    # ------------------------------------------------------------------
+    def process_update(self, peer: BgpPeer, msg: BgpUpdate) -> None:
+        if not peer.established:
+            return
+        changed: set[Ipv4Network] = set()
+        for prefix in msg.withdrawn:
+            if self.rib_in.remove(peer.cfg.peer_ip, prefix):
+                changed.add(prefix)
+        if msg.nlri and msg.attributes is not None:
+            if msg.attributes.contains_as(self.config.asn):
+                pass  # receiver-side loop check: discard silently
+            else:
+                for prefix in msg.nlri:
+                    self.rib_in.set(peer.cfg.peer_ip, prefix, msg.attributes)
+                    changed.add(prefix)
+        for prefix in sorted(changed):
+            self._decide(prefix)
+
+    def on_peer_established(self, peer: BgpPeer) -> None:
+        """Initial table exchange toward the new peer."""
+        for prefix in self.loc_rib.prefixes():
+            peer.queue_route(prefix, self.loc_rib.best(prefix))
+
+    def on_peer_down(self, peer: BgpPeer) -> None:
+        affected = self.rib_in.remove_peer(peer.cfg.peer_ip)
+        for prefix in sorted(affected):
+            self._decide(prefix)
+
+    # ------------------------------------------------------------------
+    def _decide(self, prefix: Ipv4Network) -> None:
+        """Run the decision process for one prefix; propagate changes."""
+        candidates = self.rib_in.candidates(prefix)
+        if prefix in self.config.networks:
+            candidates.append(RibEntry(
+                prefix,
+                PathAttributes(as_path=(), next_hop=Ipv4Address(0)),
+                peer_ip=None,
+            ))
+        old = self.loc_rib.chosen(prefix)
+        chosen = self.loc_rib.decide(prefix, candidates)
+        if chosen == old:
+            return
+        self._download_fib(prefix, chosen)
+        best = chosen[0] if chosen else None
+        for peer in self.peers.values():
+            peer.queue_route(prefix, best)
+
+    def summary(self) -> str:
+        """`show bgp summary`-style rendering."""
+        lines = [
+            f"BGP router {self.node.name}, local AS {self.config.asn}, "
+            f"router-id {self.config.router_id}",
+            f"RIB entries: {len(self.loc_rib)} chosen, "
+            f"{self.rib_in.entry_count()} received",
+            f"{'Neighbor':<14} {'AS':>6} {'State':<12} {'PfxSnt':>6}",
+        ]
+        for peer in sorted(self.peers.values(),
+                           key=lambda p: p.cfg.peer_ip.value):
+            lines.append(
+                f"{str(peer.cfg.peer_ip):<14} {peer.cfg.peer_asn:>6} "
+                f"{peer.state.value:<12} {len(peer.adj_out):>6}"
+            )
+        return "\n".join(lines)
+
+    def _download_fib(self, prefix: Ipv4Network, chosen: tuple[RibEntry, ...]) -> None:
+        if not chosen:
+            self.stack.table.withdraw(prefix)
+            return
+        if chosen[0].is_local:
+            return  # connected route already covers it
+        nexthops = tuple(
+            NextHop(interface=self.peers[e.peer_ip].cfg.interface,
+                    via=e.peer_ip)
+            for e in chosen
+        )
+        self.stack.table.install(Route(
+            prefix=prefix, nexthops=nexthops, proto="bgp",
+            metric=BGP_ROUTE_METRIC,
+        ))

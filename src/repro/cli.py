@@ -1,0 +1,190 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+The CLI wraps the experiment harness for interactive use — the
+simulator-era equivalent of the paper's FABRIC automation entry points:
+
+    python -m repro topo     --pods 4                 # build & validate
+    python -m repro converge --stack mtp --pods 2     # converge, show state
+    python -m repro fail     --stack bgp-bfd --case TC1
+    python -m repro loss     --stack mtp --case TC2 --direction near
+    python -m repro config   --stack bgp --pods 4     # Listing 1/2 output
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.sim.units import MILLISECOND, SECOND
+from repro.topology.clos import ClosParams, build_folded_clos
+from repro.topology.validate import validate_topology
+from repro.net.world import World
+from repro.harness.experiments import (
+    StackKind,
+    StackTimers,
+    build_and_converge,
+    detection_bound_us,
+    run_failure_experiment,
+    run_packet_loss_experiment,
+)
+
+_STACKS = {
+    "mtp": StackKind.MTP,
+    "bgp": StackKind.BGP,
+    "bgp-bfd": StackKind.BGP_BFD,
+}
+
+
+def _add_topo_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--pods", type=int, default=2)
+    parser.add_argument("--tors", type=int, default=2, help="ToRs per pod")
+    parser.add_argument("--aggs", type=int, default=2, help="aggs per pod")
+    parser.add_argument("--tops", type=int, default=2, help="tops per plane")
+    parser.add_argument("--zones", type=int, default=1,
+                        help=">1 adds the super-spine tier")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _params(args) -> ClosParams:
+    return ClosParams(
+        num_pods=args.pods, tors_per_pod=args.tors,
+        aggs_per_pod=args.aggs, tops_per_plane=args.tops,
+        zones=args.zones,
+    )
+
+
+def cmd_topo(args) -> int:
+    world = World(seed=args.seed)
+    topo = build_folded_clos(_params(args), world=world)
+    validate_topology(topo)
+    print(topo.describe())
+    print("\nfailure test points:")
+    for case in topo.failure_cases().values():
+        print(f"  {case.name}: fail {case.node}:{case.interface} "
+              f"({case.description})")
+    print("\nrack subnets:")
+    for tor in topo.all_tors():
+        print(f"  {tor}: {topo.rack_subnet[tor]} -> ToR VID "
+              f"{topo.tor_vid_seed[tor]}")
+    return 0
+
+
+def cmd_converge(args) -> int:
+    kind = _STACKS[args.stack]
+    world, topo, dep = build_and_converge(_params(args), kind, seed=args.seed)
+    print(f"{kind.value} converged at t = {world.sim.now / SECOND:.3f} s "
+          f"({world.sim.events_processed} events)\n")
+    for name in args.show or (topo.aggs[0][0][0], topo.tops[0][0][0]):
+        if kind is StackKind.MTP:
+            print(dep.mtp_nodes[name].summary())
+        else:
+            print(dep.speakers[name].summary())
+            print("FIB:")
+            print(dep.stacks[name].table.render())
+        print()
+    return 0
+
+
+def cmd_fail(args) -> int:
+    kind = _STACKS[args.stack]
+    result = run_failure_experiment(_params(args), kind, args.case,
+                                    seed=args.seed)
+    print(f"{kind.value}, {args.case}:")
+    print(f"  convergence time : {result.convergence_ms:.2f} ms")
+    print(f"  control overhead : {result.control_bytes} B in "
+          f"{result.update_count} update messages")
+    print(f"  blast radius     : {result.blast_radius} routers "
+          f"({', '.join(result.blast_routers)})")
+    return 0
+
+
+def cmd_loss(args) -> int:
+    kind = _STACKS[args.stack]
+    result = run_packet_loss_experiment(
+        _params(args), kind, args.case, direction=args.direction,
+        seed=args.seed, rate_pps=args.rate,
+    )
+    print(f"{kind.value}, {args.case}, sender {args.direction} "
+          f"({args.rate} pps, flow src port {result.src_port}):")
+    print(f"  sent={result.sent} received={result.received} "
+          f"lost={result.lost} dup={result.duplicated} "
+          f"ooo={result.out_of_order}")
+    return 0
+
+
+def cmd_config(args) -> int:
+    kind = _STACKS[args.stack]
+    world = World(seed=args.seed, trace_enabled=False)
+    topo = build_folded_clos(_params(args), world=world)
+    if kind is StackKind.MTP:
+        from repro.core.config import MtpGlobalConfig
+
+        print(MtpGlobalConfig.from_topology(topo).render_json())
+        return 0
+    from repro.harness.deploy import deploy_bgp
+
+    dep = deploy_bgp(topo, bfd=(kind is StackKind.BGP_BFD))
+    node = args.node or topo.tops[0][0][0]
+    print(f"! configuration for {node}")
+    print("\n".join(dep.speakers[node].config.config_lines()))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_topo = sub.add_parser("topo", help="build and validate a fabric")
+    _add_topo_args(p_topo)
+    p_topo.set_defaults(func=cmd_topo)
+
+    p_conv = sub.add_parser("converge", help="converge a protocol stack")
+    _add_topo_args(p_conv)
+    p_conv.add_argument("--stack", choices=_STACKS, required=True)
+    p_conv.add_argument("--show", nargs="*", help="nodes to display")
+    p_conv.set_defaults(func=cmd_converge)
+
+    p_fail = sub.add_parser("fail", help="run a failure experiment")
+    _add_topo_args(p_fail)
+    p_fail.add_argument("--stack", choices=_STACKS, required=True)
+    p_fail.add_argument("--case", choices=("TC1", "TC2", "TC3", "TC4"),
+                        default="TC1")
+    p_fail.set_defaults(func=cmd_fail)
+
+    p_loss = sub.add_parser("loss", help="run a packet-loss experiment")
+    _add_topo_args(p_loss)
+    p_loss.add_argument("--stack", choices=_STACKS, required=True)
+    p_loss.add_argument("--case", choices=("TC1", "TC2", "TC3", "TC4"),
+                        default="TC2")
+    p_loss.add_argument("--direction", choices=("near", "far"),
+                        default="near")
+    p_loss.add_argument("--rate", type=int, default=1000)
+    p_loss.set_defaults(func=cmd_loss)
+
+    p_cfg = sub.add_parser("config", help="render Listing 1/2 configuration")
+    _add_topo_args(p_cfg)
+    p_cfg.add_argument("--stack", choices=_STACKS, required=True)
+    p_cfg.add_argument("--node", help="router to render (BGP only)")
+    p_cfg.set_defaults(func=cmd_config)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # output piped into `head` etc. — exit quietly like other CLIs
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

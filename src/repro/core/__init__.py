@@ -1,0 +1,64 @@
+"""MR-MTP: the Multi-Root Meshed Tree Protocol (the paper's contribution).
+
+A single layer-3 protocol that replaces BGP, ECMP, BFD, TCP, UDP and IP
+inside a folded-Clos fabric:
+
+* every ToR roots a tree, identified by a Virtual ID (VID) derived from
+  its rack subnet's third byte;
+* upper tiers join the trees and are assigned child VIDs by appending the
+  parent's port number (``11`` → ``11.1`` → ``11.1.1``), meshing all the
+  trees at the spines — multiple loop-free paths with zero configured
+  addresses;
+* IP packets are encapsulated with (source VID, destination VID) and
+  forwarded down via VID-table entries or up via hashed default paths;
+* failures are detected Quick-to-Detect (one missed 50 ms hello) and
+  recovered by pruning VID-table entries — no route recomputation — while
+  Slow-to-Accept (three consecutive hellos) dampens flapping;
+* every MR-MTP frame doubles as a keepalive; explicit keepalives are a
+  single byte.
+"""
+
+from repro.core.vid import Vid, derive_tor_root, ThirdByteDerivation, WideDerivation
+from repro.core.messages import (
+    MtpMessage,
+    MtpKeepalive,
+    MtpFullHello,
+    MtpAdvertise,
+    MtpJoin,
+    MtpOffer,
+    MtpAccept,
+    MtpUpdateLost,
+    MtpUnreachable,
+    MtpUnreachableDefault,
+    MtpRestored,
+    MtpRestoredDefault,
+    MtpData,
+)
+from repro.core.config import MtpGlobalConfig, MtpNodeConfig, MtpTimers
+from repro.core.tables import VidTable
+from repro.core.protocol import MtpNode
+
+__all__ = [
+    "Vid",
+    "derive_tor_root",
+    "ThirdByteDerivation",
+    "WideDerivation",
+    "MtpMessage",
+    "MtpKeepalive",
+    "MtpFullHello",
+    "MtpAdvertise",
+    "MtpJoin",
+    "MtpOffer",
+    "MtpAccept",
+    "MtpUpdateLost",
+    "MtpUnreachable",
+    "MtpUnreachableDefault",
+    "MtpRestored",
+    "MtpRestoredDefault",
+    "MtpData",
+    "MtpGlobalConfig",
+    "MtpNodeConfig",
+    "MtpTimers",
+    "VidTable",
+    "MtpNode",
+]

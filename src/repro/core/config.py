@@ -1,0 +1,107 @@
+"""MR-MTP configuration (the paper's Listing 2, as data).
+
+The whole fabric is configured by one small document: each node's tier
+and, for ToRs, the interface facing the server rack (so the ToR can read
+its rack subnet and derive its VID).  ``render_json`` reproduces the
+Listing 2 shape for the configuration-cost experiment.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.sim.units import MILLISECOND
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.topology.clos import ClosTopology
+
+
+@dataclass(frozen=True)
+class MtpTimers:
+    """Paper section VI.F: hello 50 ms, dead 100 ms (Quick-to-Detect:
+    a single missed hello), Slow-to-Accept after 3 consecutive hellos."""
+
+    hello_us: int = 50 * MILLISECOND
+    dead_us: int = 100 * MILLISECOND
+    accept_hellos: int = 3
+    # control-message retransmit interval (request-response reliability)
+    retransmit_us: int = 100 * MILLISECOND
+    # per-update processing latency (prune ports, no route recomputation —
+    # cheaper than a BGP decision-process run)
+    processing_us: int = 200
+    # timing noise 0..1: hello periods scale uniformly in
+    # [(1-jitter), 1] x interval and processing scales in [1, 1+jitter] —
+    # the VM-scheduling noise of the paper's testbed, seeded per node
+    jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.hello_us <= 0 or self.dead_us <= 0:
+            raise ValueError("timers must be positive")
+        if self.dead_us < self.hello_us:
+            raise ValueError("dead timer shorter than hello interval")
+        if self.accept_hellos < 1:
+            raise ValueError("accept_hellos must be >= 1")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+
+
+@dataclass(frozen=True)
+class MtpNodeConfig:
+    """Per-device configuration: tier, plus the rack port for ToRs."""
+
+    name: str
+    tier: int
+    rack_interface: Optional[str] = None  # ToRs only
+
+    def __post_init__(self) -> None:
+        if self.tier < 1:
+            raise ValueError("MTP runs on routers (tier >= 1)")
+        if self.tier == 1 and self.rack_interface is None:
+            raise ValueError(f"ToR {self.name} needs its rack interface")
+
+
+@dataclass
+class MtpGlobalConfig:
+    """The single JSON document configuring every router in the DCN."""
+
+    nodes: dict[str, MtpNodeConfig] = field(default_factory=dict)
+    timers: MtpTimers = field(default_factory=MtpTimers)
+
+    @classmethod
+    def from_topology(cls, topo: "ClosTopology",
+                      timers: MtpTimers = MtpTimers()) -> "MtpGlobalConfig":
+        config = cls(timers=timers)
+        for name in topo.routers():
+            node = topo.node(name)
+            rack = topo.rack_port.get(name) if node.tier == 1 else None
+            config.nodes[name] = MtpNodeConfig(name, node.tier, rack)
+        return config
+
+    def for_node(self, name: str) -> MtpNodeConfig:
+        return self.nodes[name]
+
+    # ------------------------------------------------------------------
+    def render_json(self) -> str:
+        """The Listing 2 document: leaves + rack ports + spine tiers."""
+        leaves = sorted(n.name for n in self.nodes.values() if n.tier == 1)
+        doc = {
+            "topology": {
+                "leaves": leaves,
+                "leavesNetworkPortDict": {
+                    n: self.nodes[n].rack_interface for n in leaves
+                },
+                "tiers": {
+                    name: cfg.tier
+                    for name, cfg in sorted(self.nodes.items())
+                    if cfg.tier > 1
+                },
+            }
+        }
+        return json.dumps(doc, indent=1)
+
+    def config_lines(self) -> list[str]:
+        """Line count comparable with BGP's per-router configs: the JSON
+        rendered line by line (it configures the *whole* fabric)."""
+        return self.render_json().splitlines()

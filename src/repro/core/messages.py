@@ -1,0 +1,192 @@
+"""MR-MTP wire messages (ethertype 0x8850).
+
+Sizes are what the paper's captures show: the explicit keepalive is a
+single byte (type 0x06, Fig. 10); everything else is a type byte plus
+compact VID encodings, an order of magnitude smaller than BGP UPDATEs.
+Frames are addressed to ff:ff:ff:ff:ff:ff — on point-to-point DCN links
+the peer is the only receiver, and broadcast removes the need for ARP
+(paper section VII.F).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar
+
+from repro.stack.ipv4 import Ipv4Packet
+from repro.core.vid import Vid
+
+TYPE_ADVERTISE = 0x01
+TYPE_JOIN = 0x02
+TYPE_OFFER = 0x03
+TYPE_ACCEPT = 0x04
+TYPE_UPDATE_LOST = 0x05
+TYPE_KEEPALIVE = 0x06  # the paper's one-byte hello, value 06
+TYPE_FULL_HELLO = 0x07
+TYPE_UNREACHABLE = 0x08
+TYPE_RESTORED = 0x09
+TYPE_DATA = 0x10
+TYPE_UNREACHABLE_DEFAULT = 0x0A
+TYPE_RESTORED_DEFAULT = 0x0B
+
+
+class MtpMessage:
+    """Base class for MR-MTP messages."""
+
+    type_code: ClassVar[int]
+
+    @property
+    def wire_size(self) -> int:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class MtpKeepalive(MtpMessage):
+    """The 1-byte keepalive: just the type byte."""
+
+    type_code: ClassVar[int] = TYPE_KEEPALIVE
+
+    @property
+    def wire_size(self) -> int:
+        return 1
+
+
+@dataclass(frozen=True)
+class MtpFullHello(MtpMessage):
+    """Neighbor discovery hello carrying the sender's tier (so each end
+    learns whether the port faces up or down the Clos)."""
+
+    type_code: ClassVar[int] = TYPE_FULL_HELLO
+    tier: int
+
+    @property
+    def wire_size(self) -> int:
+        return 2
+
+
+@dataclass(frozen=True)
+class _VidListMessage(MtpMessage):
+    vids: tuple[Vid, ...]
+
+    def __post_init__(self) -> None:
+        if not self.vids:
+            raise ValueError(f"{type(self).__name__} with no VIDs")
+
+    @property
+    def wire_size(self) -> int:
+        return 2 + sum(v.wire_size for v in self.vids)  # type + count + vids
+
+
+@dataclass(frozen=True)
+class MtpAdvertise(_VidListMessage):
+    """Sender's current VIDs, announced on upstream ports (tree growth)."""
+
+    type_code: ClassVar[int] = TYPE_ADVERTISE
+
+
+@dataclass(frozen=True)
+class MtpJoin(_VidListMessage):
+    """Request to join the trees rooted at the listed (advertised) VIDs."""
+
+    type_code: ClassVar[int] = TYPE_JOIN
+
+
+@dataclass(frozen=True)
+class MtpOffer(_VidListMessage):
+    """Child VIDs assigned to the joiner (parent VID + arrival port)."""
+
+    type_code: ClassVar[int] = TYPE_OFFER
+
+
+@dataclass(frozen=True)
+class MtpAccept(_VidListMessage):
+    """Joiner's confirmation — the accept-acknowledge reliability step."""
+
+    type_code: ClassVar[int] = TYPE_ACCEPT
+
+
+@dataclass(frozen=True)
+class MtpUpdateLost(_VidListMessage):
+    """Sent upstream: the listed VIDs (ours) were lost; prune children."""
+
+    type_code: ClassVar[int] = TYPE_UPDATE_LOST
+
+
+@dataclass(frozen=True)
+class _RootListMessage(MtpMessage):
+    roots: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.roots:
+            raise ValueError(f"{type(self).__name__} with no roots")
+
+    @property
+    def wire_size(self) -> int:
+        return 2 + sum(1 if r < 255 else 3 for r in self.roots)
+
+
+@dataclass(frozen=True)
+class MtpUnreachable(_RootListMessage):
+    """Sent downstream: the listed ToR roots cannot be reached via the
+    sender; receivers mark the arrival port unusable for those roots."""
+
+    type_code: ClassVar[int] = TYPE_UNREACHABLE
+
+
+@dataclass(frozen=True)
+class MtpRestored(_RootListMessage):
+    """Sent downstream: the listed roots are reachable again."""
+
+    type_code: ClassVar[int] = TYPE_RESTORED
+
+
+@dataclass(frozen=True)
+class MtpUnreachableDefault(MtpMessage):
+    """Sent downstream when the sender has lost its *default* upstream
+    path entirely (e.g. every uplink dead — a double-failure scenario
+    the paper's single-failure test cases never reach): the sender can
+    now only serve the listed exception roots.  Receivers treat the
+    arrival port as unusable for every other root.
+
+    This message is an extension beyond the paper's protocol description
+    (documented in DESIGN.md §5): without it, an agg that lost all its
+    uplinks would keep silently blackholing hashed default-up traffic.
+    """
+
+    type_code: ClassVar[int] = TYPE_UNREACHABLE_DEFAULT
+    except_roots: tuple[int, ...] = ()
+
+    @property
+    def wire_size(self) -> int:
+        return 2 + sum(1 if r < 255 else 3 for r in self.except_roots)
+
+
+@dataclass(frozen=True)
+class MtpRestoredDefault(MtpMessage):
+    """Sent downstream when the sender's default upstream path is back."""
+
+    type_code: ClassVar[int] = TYPE_RESTORED_DEFAULT
+
+    @property
+    def wire_size(self) -> int:
+        return 1
+
+
+@dataclass(frozen=True)
+class MtpData(MtpMessage):
+    """An encapsulated IP packet: (src ToR VID, dst ToR VID) + payload
+    (paper section III.D)."""
+
+    type_code: ClassVar[int] = TYPE_DATA
+    src_root: int
+    dst_root: int
+    packet: Ipv4Packet
+
+    @property
+    def header_size(self) -> int:
+        root_bytes = sum(2 if r < 255 else 4 for r in (self.src_root, self.dst_root))
+        return 1 + root_bytes
+
+    @property
+    def wire_size(self) -> int:
+        return self.header_size + self.packet.wire_size

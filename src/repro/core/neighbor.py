@@ -1,0 +1,123 @@
+"""Per-port neighbor liveness: Quick-to-Detect, Slow-to-Accept.
+
+The paper's section IV.B:
+
+* **Quick-to-Detect** — a neighbor is assumed down after missing a
+  *single* hello: the dead timer is 2x the 50 ms hello interval (100 ms),
+  not the classical 3x.  Any received MR-MTP frame counts as a hello.
+* **Slow-to-Accept** — after a failure, the neighbor is only accepted
+  back after three *consecutive* hellos (gaps under the dead interval),
+  which dampens a toggling interface the way BGP needs route-flap
+  damping for.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Callable, Optional
+
+from repro.sim.engine import Simulator
+from repro.sim.timers import Timer
+from repro.core.config import MtpTimers
+
+
+class NeighborState(Enum):
+    UNKNOWN = "unknown"      # never heard from
+    UP = "up"
+    DEAD = "dead"            # dead timer fired / local port down
+    PROBATION = "probation"  # hearing hellos again, counting acceptance
+
+
+class PortNeighbor:
+    """Liveness and direction state for the device at the far end of one
+    port."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        port: str,
+        timers: MtpTimers,
+        on_up: Callable[["PortNeighbor"], None],
+        on_down: Callable[["PortNeighbor", str], None],
+    ) -> None:
+        self.sim = sim
+        self.port = port
+        self.timers = timers
+        self.on_up = on_up
+        self.on_down = on_down
+        self.state = NeighborState.UNKNOWN
+        self.tier: Optional[int] = None
+        self._consecutive = 0
+        self._last_rx: Optional[int] = None
+        self.times_died = 0
+        self._dead_timer = Timer(sim, timers.dead_us, self._on_dead,
+                                 name=f"mtp-dead-{port}")
+
+    # ------------------------------------------------------------------
+    @property
+    def up(self) -> bool:
+        return self.state is NeighborState.UP
+
+    def __repr__(self) -> str:
+        return f"<PortNeighbor {self.port} {self.state.value} tier={self.tier}>"
+
+    # ------------------------------------------------------------------
+    def saw_frame(self, tier: Optional[int] = None) -> None:
+        """Any MR-MTP frame from the peer is a liveness proof."""
+        now = self.sim.now
+        if tier is not None:
+            self.tier = tier
+        if self.state is NeighborState.UNKNOWN:
+            # initial discovery needs the tier (a full hello) before the
+            # port direction is known
+            if self.tier is not None:
+                self._accept()
+        elif self.state is NeighborState.UP:
+            self._dead_timer.restart()
+        else:
+            # DEAD or PROBATION: Slow-to-Accept counting.  A gap larger
+            # than the dead interval breaks the consecutive run.
+            if (
+                self._last_rx is not None
+                and now - self._last_rx > self.timers.dead_us
+            ):
+                self._consecutive = 0
+            self._consecutive += 1
+            self.state = NeighborState.PROBATION
+            # probation decays back to DEAD when the hellos stop again
+            self._dead_timer.restart()
+            if self._consecutive >= self.timers.accept_hellos and self.tier is not None:
+                self._accept()
+        self._last_rx = now
+
+    def _accept(self) -> None:
+        self.state = NeighborState.UP
+        self._consecutive = 0
+        self._dead_timer.restart()
+        self.on_up(self)
+
+    def _on_dead(self) -> None:
+        if self.state is NeighborState.UP:
+            self._declare_down("dead-timer")
+        elif self.state is NeighborState.PROBATION:
+            self.state = NeighborState.DEAD
+
+    def local_port_down(self) -> None:
+        """The local interface was administratively downed."""
+        if self.state is NeighborState.UP:
+            self._declare_down("local-port-down")
+        elif self.state is not NeighborState.UNKNOWN:
+            # a flap mid-probation restarts the Slow-to-Accept count
+            self.state = NeighborState.DEAD
+            self._consecutive = 0
+            self._dead_timer.stop()
+
+    def _declare_down(self, reason: str) -> None:
+        self.state = NeighborState.DEAD
+        self.times_died += 1
+        self._consecutive = 0
+        self._dead_timer.stop()
+        self.on_down(self, reason)
+
+    def stop(self) -> None:
+        self._dead_timer.stop()

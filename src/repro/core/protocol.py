@@ -1,0 +1,652 @@
+"""The MR-MTP node: meshed-tree construction, failure updates, data plane.
+
+One :class:`MtpNode` runs per router.  Control flow (paper section III):
+
+* ToRs derive their root VID from the rack subnet and ADVERTISE it on
+  upstream ports;
+* an upper-tier device receiving an ADVERTISE answers with a JOIN; the
+  lower device OFFERs child VIDs (parent VID + arrival-port number); the
+  joiner stores them in its VID table and ACCEPTs (request-response /
+  accept-acknowledge reliability, with retransmission);
+* devices holding VIDs advertise them further up, meshing every ToR's
+  tree across the spines.
+
+Failure flow (sections IV.B and VII.B):
+
+* a port facing *down* dying prunes everything acquired on it; the lost
+  VIDs travel *up* as UPDATE_LOST (parents prune derived entries) and
+  roots that became wholly unreachable travel *down* as UNREACHABLE
+  (receivers mark the arrival port unusable for those roots);
+* receivers only prune/mark — "recomputing of routes is not required";
+* recovery is the mirror image: re-acquired roots propagate RESTORED.
+
+Data plane (section III.D): ToRs encapsulate IP packets with
+(src root, dst root) derived from the destination address; transit nodes
+forward down via VID-table ports when they hold the destination root,
+otherwise up via a hashed choice among alive, unmarked upstream ports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.sim.timers import PeriodicTimer, Timer
+from repro.stack.addresses import BROADCAST_MAC
+from repro.stack.ethernet import ETHERTYPE_MTP, EthernetFrame
+from repro.stack.ipv4 import Ipv4Packet
+from repro.routing.ecmp import FlowKey, ecmp_hash
+from repro.net.interface import Interface
+from repro.net.node import Node
+from repro.core.config import MtpNodeConfig, MtpTimers
+from repro.core.messages import (
+    MtpAccept,
+    MtpAdvertise,
+    MtpData,
+    MtpFullHello,
+    MtpJoin,
+    MtpKeepalive,
+    MtpMessage,
+    MtpOffer,
+    MtpRestored,
+    MtpRestoredDefault,
+    MtpUnreachable,
+    MtpUnreachableDefault,
+    MtpUpdateLost,
+)
+from repro.core.neighbor import NeighborState, PortNeighbor
+from repro.core.tables import VidTable
+from repro.core.vid import ThirdByteDerivation, Vid
+
+
+@dataclass
+class MtpCounters:
+    data_sent: int = 0
+    data_forwarded: int = 0
+    data_delivered: int = 0
+    data_dropped_no_path: int = 0
+    updates_sent: int = 0
+    updates_received: int = 0
+    keepalives_sent: int = 0
+
+
+class MtpNode:
+    """MR-MTP protocol instance on one router."""
+
+    def __init__(
+        self,
+        node: Node,
+        config: MtpNodeConfig,
+        timers: MtpTimers = MtpTimers(),
+        derivation=None,
+        stack=None,
+        exclude_interfaces: Iterable[str] = (),
+        salt: int = 0,
+        rng=None,
+        per_packet_spray: bool = False,
+    ) -> None:
+        self.node = node
+        self.sim = node.sim
+        self.config = config
+        self.timers = timers
+        # Load-balancing ablation: flow hashing (the paper's design, and
+        # ECMP's) vs per-packet round-robin spraying.  Spraying smooths
+        # load but reorders flows — the trade-off the hash avoids.
+        self.per_packet_spray = per_packet_spray
+        self._spray_counter = 0
+        if timers.jitter > 0.0 and rng is None:
+            raise ValueError(f"{node.name}: timing jitter requires an rng")
+        self.rng = rng
+        self.derivation = derivation if derivation is not None else ThirdByteDerivation()
+        self.stack = stack  # ToRs only: rack-side IP delivery
+        self.salt = salt
+        self.tier = config.tier
+        self.table = VidTable(name=node.name, sim=node.sim)
+        self.counters = MtpCounters()
+        self.own_root: Optional[int] = None
+        self.neighbors: dict[str, PortNeighbor] = {}
+        self._excluded = set(exclude_interfaces)
+        if config.rack_interface:
+            self._excluded.add(config.rack_interface)
+        # per-port transmit bookkeeping for keepalive suppression
+        self._last_tx: dict[str, int] = {}
+        self._hello_timers: dict[str, PeriodicTimer] = {}
+        # reliability: outstanding requests awaiting a response
+        self._pending_join: dict[str, set[Vid]] = {}
+        self._pending_offer: dict[str, set[Vid]] = {}
+        self._unjoined_adverts: dict[str, set[Vid]] = {}
+        # roots we have announced as unreachable to downstream neighbors;
+        # a RESTORED goes out when such a root comes back
+        self._announced_lost: set[int] = set()
+        # default-path state (double-failure extension): None = our
+        # default upstream path works; a frozenset = we advertised
+        # UNREACHABLE_DEFAULT with those exception roots.  Messaging is
+        # gated until the node first has a working default path so
+        # bring-up produces no spurious updates.
+        self._advertised_default: Optional[frozenset[int]] = None
+        self._default_active = False
+        self._retx_timer = PeriodicTimer(
+            self.sim, timers.retransmit_us, self._retransmit, name="mtp-retx"
+        )
+        self._started = False
+        node.register_handler(ETHERTYPE_MTP, self._on_frame)
+        node.on_interface_down(self._on_iface_down)
+        node.on_interface_up(self._on_iface_up)
+        node.mtp = self
+        if stack is not None:
+            stack.intercept = self._intercept_ip
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Derive the ToR VID (tier 1) and begin hello transmission."""
+        if self._started:
+            return
+        self._started = True
+        if self.tier == 1:
+            rack = self.node.interfaces[self.config.rack_interface]
+            if rack.network is None:
+                raise ValueError(
+                    f"{self.node.name}: rack interface has no subnet; "
+                    "cannot derive the ToR VID"
+                )
+            self.own_root = self.derivation.root_for_subnet(rack.network)
+            self.node.log("mtp.vid", f"derived ToR VID {self.own_root}")
+        for iface in self.node.interfaces.values():
+            if iface.name in self._excluded or not iface.cabled:
+                continue
+            self.neighbors[iface.name] = PortNeighbor(
+                self.sim, iface.name, self.timers,
+                on_up=self._on_neighbor_up, on_down=self._on_neighbor_down,
+            )
+            timer = PeriodicTimer(
+                self.sim, self.timers.hello_us,
+                lambda port=iface.name: self._hello_tick(port),
+                name=f"mtp-hello-{iface.name}",
+                jitter=self.timers.jitter, rng=self.rng,
+            )
+            self._hello_timers[iface.name] = timer
+            timer.start(immediate=True)
+        self._retx_timer.start()
+
+    def _processing_delay(self) -> int:
+        """Per-update processing latency, scaled by the timing noise."""
+        base = self.timers.processing_us
+        if self.timers.jitter == 0.0:
+            return base
+        return max(1, int(self.rng.uniform(1.0, 1.0 + self.timers.jitter) * base))
+
+    # ------------------------------------------------------------------
+    # direction helpers
+    # ------------------------------------------------------------------
+    def _direction(self, port: str) -> Optional[str]:
+        nbr = self.neighbors.get(port)
+        if nbr is None or nbr.tier is None:
+            return None
+        if nbr.tier < self.tier:
+            return "down"
+        if nbr.tier > self.tier:
+            return "up"
+        return None  # same-tier links do not occur in a folded-Clos
+
+    def _alive_ports(self, direction: str) -> list[str]:
+        result = []
+        for port, nbr in self.neighbors.items():
+            if not nbr.up or self._direction(port) != direction:
+                continue
+            iface = self.node.interfaces[port]
+            if iface.admin_up and iface.cabled:
+                result.append(port)
+        return sorted(result)
+
+    def up_ports(self) -> list[str]:
+        return self._alive_ports("up")
+
+    def down_ports(self) -> list[str]:
+        return self._alive_ports("down")
+
+    # ------------------------------------------------------------------
+    # transmission
+    # ------------------------------------------------------------------
+    def _send(self, port: str, message: MtpMessage) -> None:
+        iface = self.node.interfaces[port]
+        frame = EthernetFrame(
+            dst=BROADCAST_MAC, src=iface.mac,
+            ethertype=ETHERTYPE_MTP, payload=message,
+        )
+        if iface.send(frame):
+            self._last_tx[port] = self.sim.now
+
+    def _hello_tick(self, port: str) -> None:
+        """Hello-interval tick: transmit only if nothing else served as a
+        keepalive in the last interval (paper section IV.B)."""
+        iface = self.node.interfaces[port]
+        if not iface.admin_up:
+            return
+        last = self._last_tx.get(port)
+        if last is not None and self.sim.now - last < self.timers.hello_us:
+            return
+        nbr = self.neighbors[port]
+        if nbr.state is NeighborState.UP:
+            self.counters.keepalives_sent += 1
+            self.node.log("mtp.keepalive.tx", port, bytes=15)
+            self._send(port, MtpKeepalive())
+        else:
+            # discovery / re-acceptance needs the tier information
+            self._send(port, MtpFullHello(tier=self.tier))
+
+    def _send_update(self, port: str, message: MtpMessage) -> None:
+        self.counters.updates_sent += 1
+        frame_bytes = 14 + message.wire_size
+        self.node.log("mtp.update.tx", f"{type(message).__name__} on {port}",
+                      bytes=frame_bytes)
+        self._send(port, message)
+
+    # ------------------------------------------------------------------
+    # frame reception
+    # ------------------------------------------------------------------
+    def _on_frame(self, iface: Interface, frame: EthernetFrame) -> None:
+        message = frame.payload
+        if not isinstance(message, MtpMessage):
+            return
+        port = iface.name
+        nbr = self.neighbors.get(port)
+        if nbr is None:
+            return  # excluded or unconfigured port
+        tier = message.tier if isinstance(message, MtpFullHello) else None
+        was_up = nbr.up
+        nbr.saw_frame(tier)
+        if not was_up and not nbr.up:
+            # Slow-to-Accept still counting: process nothing but liveness.
+            return
+        if isinstance(message, (MtpKeepalive, MtpFullHello)):
+            return
+        if isinstance(message, MtpData):
+            self._on_data(port, message)
+            return
+        if isinstance(message, MtpAdvertise):
+            self._on_advertise(port, message)
+        elif isinstance(message, MtpJoin):
+            self._on_join(port, message)
+        elif isinstance(message, MtpOffer):
+            self._on_offer(port, message)
+        elif isinstance(message, MtpAccept):
+            self._on_accept(port, message)
+        elif isinstance(message, (MtpUpdateLost, MtpUnreachable, MtpRestored,
+                                  MtpUnreachableDefault, MtpRestoredDefault)):
+            self.counters.updates_received += 1
+            self.sim.schedule_after(
+                self._processing_delay(), self._process_update, port, message
+            )
+
+    # ------------------------------------------------------------------
+    # meshed-tree construction
+    # ------------------------------------------------------------------
+    def _my_vids(self) -> list[Vid]:
+        if self.tier == 1:
+            return [Vid.root_of(self.own_root)] if self.own_root else []
+        return self.table.all_vids()
+
+    def _advertise_on(self, port: str) -> None:
+        vids = self._my_vids()
+        if not vids:
+            return
+        self._unjoined_adverts[port] = set(vids)
+        self.node.log("mtp.ctrl.tx", f"advertise {len(vids)} vids on {port}")
+        self._send(port, MtpAdvertise(vids=tuple(vids)))
+
+    def _advertise_up(self) -> None:
+        for port in self.up_ports():
+            self._advertise_on(port)
+
+    def _on_advertise(self, port: str, msg: MtpAdvertise) -> None:
+        if self._direction(port) != "down":
+            return
+        have = self.table.vids_on(port)
+        have_parents = {v.parent() for v in have if not v.is_root}
+        wanted = tuple(v for v in msg.vids if v not in have_parents)
+        if not wanted:
+            return
+        pending = self._pending_join.setdefault(port, set())
+        pending.update(wanted)
+        self._send(port, MtpJoin(vids=wanted))
+
+    def _on_join(self, port: str, msg: MtpJoin) -> None:
+        if self._direction(port) != "up":
+            return
+        port_number = self.node.interfaces[port].port_number
+        mine = set(self._my_vids())
+        children = tuple(
+            parent.extend(port_number) for parent in msg.vids if parent in mine
+        )
+        if not children:
+            return
+        unjoined = self._unjoined_adverts.get(port)
+        if unjoined:
+            unjoined.difference_update(msg.vids)
+        self._pending_offer.setdefault(port, set()).update(children)
+        self._send(port, MtpOffer(vids=children))
+
+    def _on_offer(self, port: str, msg: MtpOffer) -> None:
+        if self._direction(port) != "down":
+            return
+        pending = self._pending_join.get(port, set())
+        added: list[Vid] = []
+        for child in msg.vids:
+            parent = child.parent() if not child.is_root else child
+            pending.discard(parent)
+            if self.table.add(port, child):
+                added.append(child)
+        self._send(port, MtpAccept(vids=msg.vids))
+        if added:
+            self.node.log("mtp.vid", f"acquired {[str(v) for v in added]} on {port}")
+            self._after_acquisition(added)
+
+    def _on_accept(self, port: str, msg: MtpAccept) -> None:
+        pending = self._pending_offer.get(port)
+        if pending:
+            pending.difference_update(msg.vids)
+
+    def _after_acquisition(self, added: list[Vid]) -> None:
+        """New VIDs: advertise upward; roots we had declared lost and can
+        now serve again flow down as RESTORED."""
+        self._advertise_up()
+        regained = tuple(
+            r for r in sorted({v.root for v in added})
+            if r in self._announced_lost and self._serves_root(r)
+        )
+        if regained:
+            self._announced_lost.difference_update(regained)
+            for port in self.down_ports():
+                self._send_update(port, MtpRestored(roots=regained))
+        self._recompute_default_state()
+
+    def _retransmit(self) -> None:
+        """Request-response reliability: re-issue unanswered messages."""
+        for port, parents in self._pending_join.items():
+            if parents and self._port_usable(port):
+                self._send(port, MtpJoin(vids=tuple(sorted(parents))))
+        for port, children in self._pending_offer.items():
+            if children and self._port_usable(port):
+                self._send(port, MtpOffer(vids=tuple(sorted(children))))
+        for port, unjoined in self._unjoined_adverts.items():
+            if unjoined and self._port_usable(port):
+                self._send(port, MtpAdvertise(vids=tuple(sorted(unjoined))))
+
+    def _port_usable(self, port: str) -> bool:
+        nbr = self.neighbors.get(port)
+        iface = self.node.interfaces[port]
+        return nbr is not None and nbr.up and iface.admin_up
+
+    # ------------------------------------------------------------------
+    # neighbor events
+    # ------------------------------------------------------------------
+    def _on_neighbor_up(self, nbr: PortNeighbor) -> None:
+        self.node.log("mtp.neighbor", f"{nbr.port} up (tier {nbr.tier})")
+        if self._direction(nbr.port) == "up":
+            self._advertise_on(nbr.port)
+        elif self._direction(nbr.port) == "down":
+            # a (re)appearing downstream neighbor missed our earlier
+            # updates: replay the unreachability state it needs
+            still_lost = tuple(sorted(
+                r for r in self._announced_lost if self._lost_downward(r)))
+            if still_lost:
+                self._send_update(nbr.port, MtpUnreachable(roots=still_lost))
+            if self._default_active and self._advertised_default is not None:
+                self._send_update(nbr.port, MtpUnreachableDefault(
+                    except_roots=tuple(sorted(self._advertised_default))))
+        self._recompute_default_state()
+
+    def _on_neighbor_down(self, nbr: PortNeighbor, reason: str) -> None:
+        self.node.log("mtp.neighbor", f"{nbr.port} down ({reason})")
+        port = nbr.port
+        self._pending_join.pop(port, None)
+        self._pending_offer.pop(port, None)
+        self._unjoined_adverts.pop(port, None)
+        direction = self._direction(port)
+        if direction == "down":
+            pruned = self.table.prune_port(port)
+            if pruned:
+                self.sim.schedule_after(
+                    self._processing_delay(), self._propagate_loss,
+                    pruned, port,
+                )
+        elif direction == "up":
+            # our VIDs are intact; the hashed up-forwarding simply skips
+            # the dead port.  Marks on the dead port are moot.
+            self.table.clear_marks(port)
+            self.table.clear_default_mark(port)
+        self._recompute_default_state()
+
+    def _on_iface_down(self, iface: Interface) -> None:
+        nbr = self.neighbors.get(iface.name)
+        if nbr is not None:
+            nbr.local_port_down()
+
+    def _on_iface_up(self, iface: Interface) -> None:
+        # hellos resume on the next tick; Slow-to-Accept gates re-use
+        pass
+
+    # ------------------------------------------------------------------
+    # failure updates
+    # ------------------------------------------------------------------
+    def _serves_root(self, root: int) -> bool:
+        if root == self.own_root:
+            return True
+        if self.table.ports_for_root(root):
+            return True
+        for port in self.up_ports():
+            if not self.table.is_marked(port, root):
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # default-path bookkeeping (double-failure extension; DESIGN.md §5)
+    # ------------------------------------------------------------------
+    def _serviceable_roots(self) -> Optional[frozenset[int]]:
+        """Roots this node can currently forward toward.  None means
+        "everything": at least one alive up port with a working default
+        path.  Tops (no up ports by design) are None while they hold
+        entries — their losses are announced explicitly per root."""
+        if not any(self.neighbors.get(p) and self._direction(p) == "up"
+                   for p in self.neighbors):
+            return None  # top tier: no default-up concept
+        reachable: set[int] = set(self.table.roots())
+        if self.own_root is not None:
+            reachable.add(self.own_root)
+        for port in self.up_ports():
+            exceptions = self.table.default_exceptions(port)
+            if exceptions is None:
+                return None  # a fully working default uplink
+            reachable.update(exceptions - self.table.marks_on(port))
+        return frozenset(reachable)
+
+    def _recompute_default_state(self) -> None:
+        serviceable = self._serviceable_roots()
+        if serviceable is None:
+            if not self._default_active:
+                self._default_active = True
+            if self._advertised_default is not None:
+                self._advertised_default = None
+                for port in self.down_ports():
+                    self._send_update(port, MtpRestoredDefault())
+            return
+        if not self._default_active:
+            return  # never had a default path yet: stay silent (bring-up)
+        if serviceable != self._advertised_default:
+            self._advertised_default = serviceable
+            for port in self.down_ports():
+                self._send_update(port, MtpUnreachableDefault(
+                    except_roots=tuple(sorted(serviceable))))
+
+    def _lost_downward(self, root: int) -> bool:
+        """True when this node no longer has any VID-table (downward)
+        path to ``root``.  The up-ports are deliberately not consulted:
+        in a folded-Clos, the plane above this node reached ``root``
+        only *through* this node, so an up-detour cannot recover it —
+        which is why the paper's S1_1 announces VID 11 unreachable to
+        ToR12 immediately (section VII.B)."""
+        return root != self.own_root and not self.table.ports_for_root(root)
+
+    def _propagate_loss(self, pruned: list[Vid], origin_port: str) -> None:
+        """After pruning VIDs (port death or UPDATE_LOST): tell parents
+        to prune derived entries; tell children about lost roots."""
+        for port in self.up_ports():
+            self._send_update(port, MtpUpdateLost(vids=tuple(pruned)))
+        lost_roots = tuple(
+            sorted({v.root for v in pruned if self._lost_downward(v.root)})
+        )
+        if lost_roots:
+            self._announced_lost.update(lost_roots)
+            for port in self.down_ports():
+                if port == origin_port:
+                    continue
+                self._send_update(port, MtpUnreachable(roots=lost_roots))
+        self._recompute_default_state()
+
+    def _process_update(self, port: str, message: MtpMessage) -> None:
+        if isinstance(message, MtpUpdateLost):
+            if self._direction(port) != "down":
+                return
+            doomed = self.table.prune_extensions(port, message.vids)
+            if doomed:
+                self.node.log("mtp.table",
+                              f"pruned {[str(v) for v in doomed]} ({port})")
+                self._propagate_loss(doomed, port)
+        elif isinstance(message, MtpUnreachable):
+            if self._direction(port) != "up":
+                return
+            added = self.table.mark_unreachable(port, message.roots)
+            if not added:
+                return
+            self.node.log("mtp.table", f"marked {added} unreachable via {port}")
+            now_lost = tuple(r for r in added if not self._serves_root(r))
+            if now_lost:
+                self._announced_lost.update(now_lost)
+                for down in self.down_ports():
+                    self._send_update(down, MtpUnreachable(roots=now_lost))
+        elif isinstance(message, MtpRestored):
+            if self._direction(port) != "up":
+                return
+            cleared = self.table.clear_marks(port, message.roots)
+            if not cleared:
+                return
+            self.node.log("mtp.table", f"cleared marks {cleared} via {port}")
+            regained = tuple(
+                r for r in cleared
+                if r in self._announced_lost and self._serves_root(r)
+            )
+            if regained:
+                self._announced_lost.difference_update(regained)
+                for down in self.down_ports():
+                    self._send_update(down, MtpRestored(roots=regained))
+        elif isinstance(message, MtpUnreachableDefault):
+            if self._direction(port) != "up":
+                return
+            if self.table.set_default_mark(port, message.except_roots):
+                self.node.log(
+                    "mtp.table",
+                    f"default-unreachable via {port} "
+                    f"(except {sorted(message.except_roots)})")
+        elif isinstance(message, MtpRestoredDefault):
+            if self._direction(port) != "up":
+                return
+            if self.table.clear_default_mark(port):
+                self.node.log("mtp.table", f"default restored via {port}")
+        self._recompute_default_state()
+
+    def summary(self) -> str:
+        """`show mtp`-style rendering of the node's protocol state."""
+        role = {1: "ToR", 2: "aggregation", 3: "top spine"}.get(
+            self.tier, f"tier-{self.tier}")
+        lines = [f"MR-MTP router {self.node.name} ({role})"]
+        if self.own_root is not None:
+            lines.append(f"ToR VID: {self.own_root}")
+        lines.append(
+            f"neighbors: {sum(1 for n in self.neighbors.values() if n.up)} up"
+            f" / {len(self.neighbors)}"
+        )
+        table = self.table.render()
+        if table:
+            lines.append("VID table:")
+            lines += ["  " + line for line in table.splitlines()]
+        c = self.counters
+        lines.append(
+            f"counters: data sent={c.data_sent} fwd={c.data_forwarded} "
+            f"delivered={c.data_delivered} dropped={c.data_dropped_no_path}; "
+            f"updates tx={c.updates_sent} rx={c.updates_received}; "
+            f"keepalives={c.keepalives_sent}"
+        )
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # data plane
+    # ------------------------------------------------------------------
+    def _intercept_ip(self, iface: Interface, packet: Ipv4Packet) -> bool:
+        """ToR ingress hook: encapsulate rack traffic bound for another
+        rack.  Returns True when MR-MTP consumed the packet."""
+        if self.tier != 1 or self.own_root is None:
+            return False
+        dst_root = self.derivation.root_for_address(packet.dst)
+        if dst_root == self.own_root:
+            return False  # local rack: normal IP delivery
+        message = MtpData(src_root=self.own_root, dst_root=dst_root,
+                          packet=packet)
+        self.counters.data_sent += 1
+        self._forward_data(message, ingress_port=None)
+        return True
+
+    def _on_data(self, port: str, message: MtpData) -> None:
+        if self.tier == 1 and message.dst_root == self.own_root:
+            # destination ToR: de-encapsulate and deliver into the rack
+            self.counters.data_delivered += 1
+            if self.stack is not None:
+                self.stack.forward_local(message.packet)
+            return
+        self.counters.data_forwarded += 1
+        self._forward_data(message, ingress_port=port)
+
+    def _flow_key(self, message: MtpData) -> FlowKey:
+        packet = message.packet
+        src_port = getattr(packet.payload, "src_port", 0)
+        dst_port = getattr(packet.payload, "dst_port", 0)
+        return FlowKey(src=packet.src.value, dst=packet.dst.value,
+                       proto=packet.proto, src_port=src_port,
+                       dst_port=dst_port)
+
+    def decide_data_port(
+        self, dst_root: int, flow: FlowKey, ingress_port: Optional[str] = None
+    ) -> Optional[str]:
+        """The forwarding decision of section III.D: down via a VID-table
+        port when we hold the destination root, else up via a hashed
+        choice among alive, unmarked upstream ports; None = no path."""
+        down = [
+            p for p in self.table.ports_for_root(dst_root)
+            if self._port_usable(p) and p != ingress_port
+        ]
+        if down:
+            return down[self._balance(flow, len(down))]
+        ups = [
+            p for p in self.up_ports()
+            if not self.table.is_marked(p, dst_root) and p != ingress_port
+        ]
+        if ups:
+            return ups[self._balance(flow, len(ups))]
+        return None
+
+    def _balance(self, flow: FlowKey, n_choices: int) -> int:
+        if self.per_packet_spray:
+            self._spray_counter += 1
+            return self._spray_counter % n_choices
+        return ecmp_hash(flow, n_choices, salt=self.salt)
+
+    def _forward_data(self, message: MtpData, ingress_port: Optional[str]) -> None:
+        choice = self.decide_data_port(
+            message.dst_root, self._flow_key(message), ingress_port
+        )
+        if choice is None:
+            self.counters.data_dropped_no_path += 1
+            self.node.log("mtp.drop", f"no path for root {message.dst_root}")
+            return
+        self._send(choice, message)

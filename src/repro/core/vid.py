@@ -1,0 +1,149 @@
+"""Virtual IDs.
+
+A VID is a dotted sequence of integers.  The first component is the
+*root* — the ToR VID derived from the rack subnet (section III.A of the
+paper: the third byte of 192.168.**11**.0/24 gives VID ``11``).  Each
+additional component is the port number a JOIN arrived on when the tree
+grew one tier (section III.B), so a VID *is* a path from its root and two
+VIDs of the same root never form a loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import total_ordering
+
+from repro.stack.addresses import Ipv4Address, Ipv4Network
+
+
+@total_ordering
+@dataclass(frozen=True)
+class Vid:
+    """An immutable VID, e.g. ``Vid.parse("11.1.2")``."""
+
+    parts: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.parts:
+            raise ValueError("empty VID")
+        for part in self.parts:
+            if not 0 < part < 65536:
+                raise ValueError(f"VID component out of range: {part}")
+
+    @classmethod
+    def parse(cls, text: str) -> "Vid":
+        return cls(tuple(int(p) for p in text.split(".")))
+
+    @classmethod
+    def root_of(cls, root: int) -> "Vid":
+        return cls((root,))
+
+    # ------------------------------------------------------------------
+    @property
+    def root(self) -> int:
+        return self.parts[0]
+
+    @property
+    def depth(self) -> int:
+        """Tier distance from the root ToR: a root VID has depth 1."""
+        return len(self.parts)
+
+    @property
+    def is_root(self) -> bool:
+        return len(self.parts) == 1
+
+    def extend(self, port_number: int) -> "Vid":
+        """Child VID: append the port number the JOIN arrived on."""
+        if not 0 < port_number < 65536:
+            raise ValueError(f"bad port number {port_number}")
+        return Vid((*self.parts, port_number))
+
+    def parent(self) -> "Vid":
+        if self.is_root:
+            raise ValueError(f"root VID {self} has no parent")
+        return Vid(self.parts[:-1])
+
+    def is_extension_of(self, other: "Vid") -> bool:
+        """True when ``self`` descends from ``other`` (proper or equal)."""
+        return (
+            len(self.parts) >= len(other.parts)
+            and self.parts[: len(other.parts)] == other.parts
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def wire_size(self) -> int:
+        """Encoded bytes: 1 count byte + per component 1 byte (or 3 for
+        components above 254, escape-coded)."""
+        return 1 + sum(1 if p < 255 else 3 for p in self.parts)
+
+    def encode(self) -> bytes:
+        out = bytearray([len(self.parts)])
+        for part in self.parts:
+            if part < 255:
+                out.append(part)
+            else:
+                out += bytes([255, part >> 8, part & 0xFF])
+        return bytes(out)
+
+    @classmethod
+    def decode(cls, blob: bytes, offset: int = 0) -> tuple["Vid", int]:
+        """Decode one VID; returns (vid, next_offset)."""
+        count = blob[offset]
+        offset += 1
+        parts = []
+        for _ in range(count):
+            value = blob[offset]
+            offset += 1
+            if value == 255:
+                value = (blob[offset] << 8) | blob[offset + 1]
+                offset += 2
+            parts.append(value)
+        return cls(tuple(parts)), offset
+
+    # ------------------------------------------------------------------
+    def __str__(self) -> str:
+        return ".".join(str(p) for p in self.parts)
+
+    def __lt__(self, other: "Vid") -> bool:
+        return self.parts < other.parts
+
+
+# ----------------------------------------------------------------------
+# root derivation from IP (paper section III.A / D)
+# ----------------------------------------------------------------------
+class ThirdByteDerivation:
+    """The paper's algorithm: the ToR VID is the third byte of the rack
+    subnet / destination server address.  Valid for fabrics of < 256
+    racks inside 192.168.0.0/16."""
+
+    def root_for_subnet(self, subnet: Ipv4Network) -> int:
+        return subnet.address.octets[2]
+
+    def root_for_address(self, address: Ipv4Address) -> int:
+        return address.octets[2]
+
+
+class WideDerivation:
+    """Extension for larger fabrics (the paper: "More than 1 byte (or
+    other algorithms) can be used"): combines the second and third bytes
+    so rack subnets beyond 192.168.255/24 still map to unique roots."""
+
+    def root_for_subnet(self, subnet: Ipv4Network) -> int:
+        o = subnet.address.octets
+        if o[0] == 192 and o[1] == 168:
+            return o[2]
+        return (o[1] - 169 + 1) * 256 + o[2]
+
+    def root_for_address(self, address: Ipv4Address) -> int:
+        o = address.octets
+        if o[0] == 192 and o[1] == 168:
+            return o[2]
+        return (o[1] - 169 + 1) * 256 + o[2]
+
+
+def derive_tor_root(subnet: Ipv4Network, derivation=None) -> int:
+    """ToR root VID for a rack subnet."""
+    if derivation is None:
+        derivation = ThirdByteDerivation()
+    return derivation.root_for_subnet(subnet)

@@ -1,0 +1,48 @@
+"""Experiment harness.
+
+The simulator-side equivalent of the paper's FABRIC automation suite
+[29]: deploy a protocol stack onto a built topology, converge it, inject
+interface failures at the paper's test points, monitor update traffic for
+convergence, and compute the performance metrics of section V.
+"""
+
+from repro.harness.deploy import (
+    BgpDeployment,
+    MtpDeployment,
+    deploy_bgp,
+    deploy_mtp,
+    deploy_servers,
+)
+from repro.harness.convergence import ConvergenceMonitor, converge_from_cold
+from repro.harness.failures import FailureInjector
+from repro.harness.metrics import (
+    blast_radius,
+    control_overhead_bytes,
+    keepalive_overhead,
+    snapshot_table_change_counts,
+)
+from repro.harness.experiments import (
+    ExperimentResult,
+    StackKind,
+    run_failure_experiment,
+    run_packet_loss_experiment,
+)
+
+__all__ = [
+    "BgpDeployment",
+    "MtpDeployment",
+    "deploy_bgp",
+    "deploy_mtp",
+    "deploy_servers",
+    "ConvergenceMonitor",
+    "converge_from_cold",
+    "FailureInjector",
+    "blast_radius",
+    "control_overhead_bytes",
+    "keepalive_overhead",
+    "snapshot_table_change_counts",
+    "ExperimentResult",
+    "StackKind",
+    "run_failure_experiment",
+    "run_packet_loss_experiment",
+]

@@ -1,0 +1,104 @@
+"""Multi-seed statistics.
+
+The paper's plotted values "were averaged over multiple runs"; with the
+timing-noise knob (``jitter`` in the timer bundles) each seed produces a
+distinct run, and this module aggregates them: mean, standard deviation,
+extrema, and stack-vs-stack ratios for any numeric field of the
+experiment results.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, fields
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro.topology.clos import ClosParams
+from repro.harness.experiments import (
+    ExperimentResult,
+    StackKind,
+    StackTimers,
+    run_failure_experiment,
+)
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """Summary statistics of one metric over seeds."""
+
+    mean: float
+    stdev: float
+    minimum: float
+    maximum: float
+    n: int
+
+    @classmethod
+    def of(cls, values: Sequence[float]) -> "Aggregate":
+        if not values:
+            raise ValueError("no values to aggregate")
+        return cls(
+            mean=statistics.fmean(values),
+            stdev=statistics.stdev(values) if len(values) > 1 else 0.0,
+            minimum=min(values),
+            maximum=max(values),
+            n=len(values),
+        )
+
+    def __str__(self) -> str:
+        return f"{self.mean:.2f} ± {self.stdev:.2f} (n={self.n})"
+
+
+@dataclass
+class FailureStudy:
+    """Aggregated failure-experiment metrics for one (stack, case)."""
+
+    kind: StackKind
+    case: str
+    convergence_ms: Aggregate
+    control_bytes: Aggregate
+    blast_radius: Aggregate
+    runs: list[ExperimentResult]
+
+
+def failure_study(
+    params: ClosParams,
+    kind: StackKind,
+    case: str,
+    seeds: Iterable[int],
+    timers: Optional[StackTimers] = None,
+) -> FailureStudy:
+    """Run the failure experiment once per seed and aggregate."""
+    runs = [
+        run_failure_experiment(params, kind, case, seed=seed, timers=timers)
+        for seed in seeds
+    ]
+    return FailureStudy(
+        kind=kind,
+        case=case,
+        convergence_ms=Aggregate.of([r.convergence_ms for r in runs]),
+        control_bytes=Aggregate.of([float(r.control_bytes) for r in runs]),
+        blast_radius=Aggregate.of([float(r.blast_radius) for r in runs]),
+        runs=runs,
+    )
+
+
+def speedup(numerator: Aggregate, denominator: Aggregate) -> float:
+    """Mean-over-mean ratio (e.g. BGP convergence / MR-MTP convergence)."""
+    if denominator.mean == 0:
+        raise ZeroDivisionError("denominator aggregate has zero mean")
+    return numerator.mean / denominator.mean
+
+
+def compare_stacks(
+    params: ClosParams,
+    case: str,
+    seeds: Iterable[int],
+    kinds: Sequence[StackKind] = (StackKind.MTP, StackKind.BGP,
+                                  StackKind.BGP_BFD),
+    timers: Optional[StackTimers] = None,
+) -> dict[StackKind, FailureStudy]:
+    seeds = list(seeds)
+    return {
+        kind: failure_study(params, kind, case, seeds, timers)
+        for kind in kinds
+    }

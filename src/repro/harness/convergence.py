@@ -1,0 +1,112 @@
+"""Convergence measurement.
+
+Implements the paper's methodology (section VI.B): record the exact
+failure-injection time, then watch update messages on all devices; when
+they stop, the last update's timestamp is the convergence end time.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.trace import TraceRecord
+from repro.sim.units import MILLISECOND, SECOND
+from repro.net.world import World
+
+
+class ConvergenceMonitor:
+    """Live listener for update-message trace events."""
+
+    def __init__(self, world: World, categories: tuple[str, ...]) -> None:
+        self.world = world
+        self.categories = set(categories)
+        self.armed_at: Optional[int] = None
+        self.last_update_time: Optional[int] = None
+        self.update_count = 0
+        self.update_bytes = 0
+        self.updating_nodes: set[str] = set()
+        world.trace.add_listener(self._on_record)
+
+    def arm(self, at_time: Optional[int] = None) -> None:
+        """Start counting updates from ``at_time`` (default: now)."""
+        self.armed_at = self.world.sim.now if at_time is None else at_time
+        self.last_update_time = None
+        self.update_count = 0
+        self.update_bytes = 0
+        self.updating_nodes.clear()
+
+    def _on_record(self, record: TraceRecord) -> None:
+        if self.armed_at is None or record.time < self.armed_at:
+            return
+        if record.category not in self.categories:
+            return
+        self.last_update_time = record.time
+        self.update_count += 1
+        self.update_bytes += int(record.data.get("bytes", 0))
+        self.updating_nodes.add(record.node)
+
+    # ------------------------------------------------------------------
+    def convergence_time_us(self) -> Optional[int]:
+        """Failure-to-last-update interval; None if no update was seen."""
+        if self.armed_at is None or self.last_update_time is None:
+            return None
+        return self.last_update_time - self.armed_at
+
+    def run_until_quiet(
+        self,
+        quiet_us: int = 1 * SECOND,
+        max_wait_us: int = 60 * SECOND,
+        slice_us: int = 50 * MILLISECOND,
+        min_wait_us: int = 0,
+    ) -> None:
+        """Advance the simulation until no update has been seen for
+        ``quiet_us`` (bounded by ``max_wait_us`` after arming).
+
+        ``min_wait_us`` must cover the slowest failure-detection path —
+        the far end of a one-sided failure only reacts after its dead /
+        hold timer, so stopping earlier would miss its updates entirely.
+        """
+        assert self.armed_at is not None, "arm() before run_until_quiet()"
+        sim = self.world.sim
+        deadline = self.armed_at + max_wait_us
+        earliest_stop = self.armed_at + min_wait_us
+        while sim.now < deadline:
+            sim.run(until=min(sim.now + slice_us, deadline))
+            if sim.now < earliest_stop:
+                continue
+            reference = self.last_update_time
+            if reference is None:
+                reference = self.armed_at
+            if sim.now - reference >= quiet_us:
+                return
+
+    def detach(self) -> None:
+        self.world.trace.remove_listener(self._on_record)
+
+
+def converge_from_cold(
+    world: World,
+    deployment,
+    check,
+    max_time_us: int = 30 * SECOND,
+    quiet_us: int = 500 * MILLISECOND,
+    slice_us: int = 100 * MILLISECOND,
+) -> None:
+    """Run a freshly started deployment until ``check()`` holds and the
+    control plane has gone quiet.  Raises on timeout."""
+    sim = world.sim
+    deadline = sim.now + max_time_us
+    satisfied_since: Optional[int] = None
+    while sim.now < deadline:
+        sim.run(until=min(sim.now + slice_us, deadline))
+        if check():
+            if satisfied_since is None:
+                satisfied_since = sim.now
+            elif sim.now - satisfied_since >= quiet_us:
+                return
+        else:
+            satisfied_since = None
+    raise TimeoutError(
+        f"deployment did not converge within {max_time_us} us "
+        f"(check={check.__name__ if hasattr(check, '__name__') else check})"
+    )

@@ -1,0 +1,252 @@
+"""Protocol deployment onto a built folded-Clos.
+
+The analogue of the paper's "scripts ... to deploy the software (such as
+BGP, BFD, MR-MTP) at the DCN routers": wires the full per-node service
+stacks (IP/TCP/UDP/BFD/BGP on the baseline; MR-MTP plus a thin rack-side
+IP shim on the proposal) and the server hosts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.stack.addresses import Ipv4Network
+from repro.routing.table import NextHop, Route
+from repro.iputil.stack import IpStack
+from repro.iputil.tcp import TcpService
+from repro.iputil.udp_service import UdpService
+from repro.bfd.session import BfdManager, BfdTimers
+from repro.bgp.config import BgpConfig, BgpNeighborConfig, BgpTimers, rfc7938_asn_plan
+from repro.bgp.speaker import BgpSpeaker
+from repro.core.config import MtpGlobalConfig, MtpTimers
+from repro.core.protocol import MtpNode
+from repro.core.vid import WideDerivation
+from repro.topology.clos import ClosTopology, TIER_SERVER
+
+
+@dataclass
+class ServerHost:
+    stack: IpStack
+    udp: UdpService
+
+
+def deploy_servers(topo: ClosTopology) -> dict[str, ServerHost]:
+    """IP stacks + default routes on every server."""
+    hosts: dict[str, ServerHost] = {}
+    for tor, servers in topo.servers.items():
+        for name in servers:
+            node = topo.node(name)
+            stack = IpStack(node, forwarding=False)
+            stack.install_connected_routes()
+            gateway = topo.server_gateway[name]
+            stack.table.install(Route(
+                prefix=Ipv4Network.parse("0.0.0.0/0"),
+                nexthops=(NextHop(interface="eth1", via=gateway),),
+                proto="static",
+            ))
+            hosts[name] = ServerHost(stack=stack, udp=UdpService(stack))
+    return hosts
+
+
+def _server_facing_ports(topo: ClosTopology, router: str) -> list[str]:
+    node = topo.node(router)
+    return [
+        iface.name
+        for iface in node.interfaces.values()
+        if iface.peer() is not None and iface.peer().node.tier == TIER_SERVER
+    ]
+
+
+def _install_rack_host_routes(topo: ClosTopology, tor: str, stack: IpStack) -> None:
+    """/32 host routes toward each server (routed-rack design), so racks
+    with several servers forward correctly past the shared /24."""
+    node = topo.node(tor)
+    for iface in node.interfaces.values():
+        peer = iface.peer()
+        if peer is None or peer.node.tier != TIER_SERVER or peer.address is None:
+            continue
+        stack.table.install(Route(
+            prefix=Ipv4Network.of(peer.address, 32),
+            nexthops=(NextHop(interface=iface.name),),
+            proto="connected",
+        ))
+
+
+# ----------------------------------------------------------------------
+# BGP / ECMP (/ BFD)
+# ----------------------------------------------------------------------
+@dataclass
+class BgpDeployment:
+    topo: ClosTopology
+    speakers: dict[str, BgpSpeaker]
+    stacks: dict[str, IpStack]
+    servers: dict[str, ServerHost]
+    uses_bfd: bool
+
+    def start(self) -> None:
+        for speaker in self.speakers.values():
+            speaker.start()
+
+    def all_established(self) -> bool:
+        return all(s.all_established() for s in self.speakers.values())
+
+    def all_bfd_up(self) -> bool:
+        """Every configured BFD session is Up (vacuously true without BFD)."""
+        if not self.uses_bfd:
+            return True
+        for speaker in self.speakers.values():
+            for peer in speaker.peers.values():
+                if peer.bfd_session is not None and not peer.bfd_session.up:
+                    return False
+        return True
+
+    def forwarding_tables(self) -> dict[str, object]:
+        """name -> object with .change_count / .last_change_time."""
+        return {name: stack.table for name, stack in self.stacks.items()}
+
+    def update_categories(self) -> tuple[str, ...]:
+        return ("bgp.update.tx",)
+
+    def fib_complete(self) -> bool:
+        """Every router can route every rack subnet."""
+        racks = list(self.topo.rack_subnet.values())
+        for name, stack in self.stacks.items():
+            for prefix in racks:
+                if stack.table.lookup(prefix.host(1)) is None:
+                    return False
+        return True
+
+
+def deploy_bgp(
+    topo: ClosTopology,
+    bfd: bool = False,
+    timers: Optional[BgpTimers] = None,
+    bfd_timers: Optional[BfdTimers] = None,
+    multipath: bool = True,
+) -> BgpDeployment:
+    """Deploy RFC 7938 eBGP (+ECMP, optionally +BFD) on every router."""
+    if timers is None:
+        timers = BgpTimers()
+    if bfd_timers is None:
+        bfd_timers = BfdTimers()
+    plan = rfc7938_asn_plan(topo)
+    speakers: dict[str, BgpSpeaker] = {}
+    stacks: dict[str, IpStack] = {}
+    for index, name in enumerate(topo.routers()):
+        node = topo.node(name)
+        stack = IpStack(node, forwarding=True, salt=index + 1)
+        stack.install_connected_routes()
+        if name in topo.rack_subnet:
+            _install_rack_host_routes(topo, name, stack)
+        stacks[name] = stack
+        udp = UdpService(stack)
+        tcp = TcpService(stack)
+        bfd_mgr = (
+            BfdManager(udp, rng=topo.world.rng.stream(f"bfd-{name}"))
+            if bfd else None
+        )
+        neighbors = []
+        for iface in node.interfaces.values():
+            peer = iface.peer()
+            if peer is None or peer.node.tier == TIER_SERVER:
+                continue
+            if peer.address is None:
+                continue
+            neighbors.append(BgpNeighborConfig(
+                peer_ip=peer.address,
+                peer_asn=plan[peer.node.name],
+                interface=iface.name,
+                bfd=bfd,
+            ))
+        networks = [topo.rack_subnet[name]] if name in topo.rack_subnet else []
+        router_id = next(
+            iface.address for iface in node.interfaces.values()
+            if iface.address is not None
+        )
+        config = BgpConfig(
+            asn=plan[name], router_id=router_id, neighbors=neighbors,
+            networks=networks, multipath=multipath, timers=timers,
+            bfd_timers=bfd_timers,
+        )
+        speakers[name] = BgpSpeaker(
+            node, config, stack, tcp, bfd_mgr,
+            rng=topo.world.rng.stream(f"bgp-{name}"),
+        )
+    servers = deploy_servers(topo)
+    return BgpDeployment(topo=topo, speakers=speakers, stacks=stacks,
+                         servers=servers, uses_bfd=bfd)
+
+
+# ----------------------------------------------------------------------
+# MR-MTP
+# ----------------------------------------------------------------------
+@dataclass
+class MtpDeployment:
+    topo: ClosTopology
+    mtp_nodes: dict[str, MtpNode]
+    tor_stacks: dict[str, IpStack]
+    servers: dict[str, ServerHost]
+    config: MtpGlobalConfig
+
+    def start(self) -> None:
+        for mtp in self.mtp_nodes.values():
+            mtp.start()
+
+    def forwarding_tables(self) -> dict[str, object]:
+        return {name: mtp.table for name, mtp in self.mtp_nodes.items()}
+
+    def update_categories(self) -> tuple[str, ...]:
+        return ("mtp.update.tx",)
+
+    def trees_complete(self) -> bool:
+        """Every top-tier device holds a VID from every ToR root (the
+        meshed-tree invariant of paper section III.B)."""
+        all_roots = set(self.topo.tor_vid_seed.values())
+        uppermost = self.topo.all_supers() or self.topo.all_tops()
+        if self.topo.params.zones > 1:
+            uppermost = self.topo.all_supers()
+        for name in uppermost:
+            if self.mtp_nodes[name].table.roots() != all_roots:
+                return False
+        # each ToR derived its VID
+        return all(
+            self.mtp_nodes[t].own_root is not None for t in self.topo.all_tors()
+        )
+
+
+def deploy_mtp(
+    topo: ClosTopology,
+    timers: Optional[MtpTimers] = None,
+    per_packet_spray: bool = False,
+) -> MtpDeployment:
+    """Deploy MR-MTP on every router (ToRs keep a rack-side IP shim)."""
+    if timers is None:
+        timers = MtpTimers()
+    config = MtpGlobalConfig.from_topology(topo, timers)
+    derivation = WideDerivation()
+    mtp_nodes: dict[str, MtpNode] = {}
+    tor_stacks: dict[str, IpStack] = {}
+    for index, name in enumerate(topo.routers()):
+        node = topo.node(name)
+        stack = None
+        if node.tier == 1:
+            stack = IpStack(node, forwarding=False, salt=index + 1)
+            stack.install_connected_routes()
+            _install_rack_host_routes(topo, name, stack)
+            tor_stacks[name] = stack
+        mtp_nodes[name] = MtpNode(
+            node,
+            config.for_node(name),
+            timers=timers,
+            derivation=derivation,
+            stack=stack,
+            exclude_interfaces=_server_facing_ports(topo, name),
+            salt=index + 1,
+            rng=topo.world.rng.stream(f"mtp-{name}"),
+            per_packet_spray=per_packet_spray,
+        )
+    servers = deploy_servers(topo)
+    return MtpDeployment(topo=topo, mtp_nodes=mtp_nodes,
+                         tor_stacks=tor_stacks, servers=servers,
+                         config=config)

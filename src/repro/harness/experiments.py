@@ -1,0 +1,372 @@
+"""Experiment drivers: one call = one paper measurement.
+
+Each run builds a fresh :class:`World` (the "reserve a new slice"
+analogue), deploys one of the paper's three stacks, converges from cold,
+injects a TC failure, and computes the section-V metrics.  Multi-seed
+batches average the results as the paper averages over runs.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+from repro.sim.units import MILLISECOND, SECOND
+from repro.net.world import World
+from repro.topology.clos import ClosParams, ClosTopology, build_folded_clos
+from repro.bfd.session import BfdTimers
+from repro.bgp.config import BgpTimers
+from repro.core.config import MtpTimers
+from repro.harness.deploy import (
+    BgpDeployment,
+    MtpDeployment,
+    deploy_bgp,
+    deploy_mtp,
+)
+from repro.harness.convergence import ConvergenceMonitor, converge_from_cold
+from repro.harness.failures import FailureInjector
+from repro.harness.metrics import blast_radius, snapshot_table_change_counts
+from repro.harness.pathtrace import find_crossing_flow
+from repro.harness.metrics import KeepaliveBreakdown, keepalive_overhead
+from repro.net.capture import Capture
+from repro.traffic.generator import ReceiverAnalyzer, TrafficSender
+
+
+class StackKind(Enum):
+    """The paper's three protocol stacks (section VII)."""
+
+    MTP = "MR-MTP"
+    BGP = "BGP/ECMP"
+    BGP_BFD = "BGP/ECMP/BFD"
+
+
+@dataclass
+class StackTimers:
+    """Timer bundle; defaults are the paper's section VI.F values."""
+
+    bgp: BgpTimers = field(default_factory=BgpTimers)
+    bfd: BfdTimers = field(default_factory=BfdTimers)
+    mtp: MtpTimers = field(default_factory=MtpTimers)
+
+
+def build_and_converge(
+    params: ClosParams,
+    kind: StackKind,
+    seed: int = 0,
+    timers: Optional[StackTimers] = None,
+    trace_enabled: bool = True,
+    max_converge_us: int = 60 * SECOND,
+):
+    """Fresh world + topology + converged deployment."""
+    if timers is None:
+        timers = StackTimers()
+    world = World(seed=seed, trace_enabled=trace_enabled)
+    topo = build_folded_clos(params, world=world)
+    if kind is StackKind.MTP:
+        deployment = deploy_mtp(topo, timers=timers.mtp)
+        check = deployment.trees_complete
+    else:
+        deployment = deploy_bgp(
+            topo,
+            bfd=(kind is StackKind.BGP_BFD),
+            timers=timers.bgp,
+            bfd_timers=timers.bfd,
+        )
+        check = lambda: (deployment.all_established()
+                         and deployment.fib_complete()
+                         and deployment.all_bfd_up())
+    deployment.start()
+    converge_from_cold(world, deployment, check, max_time_us=max_converge_us)
+    return world, topo, deployment
+
+
+# ----------------------------------------------------------------------
+# failure experiment: convergence time, control overhead, blast radius
+# ----------------------------------------------------------------------
+@dataclass
+class ExperimentResult:
+    kind: StackKind
+    case: str
+    seed: int
+    convergence_us: int
+    control_bytes: int
+    update_count: int
+    blast_routers: list[str]
+
+    @property
+    def blast_radius(self) -> int:
+        return len(self.blast_routers)
+
+    @property
+    def convergence_ms(self) -> float:
+        return self.convergence_us / MILLISECOND
+
+
+def detection_bound_us(kind: StackKind, timers: StackTimers) -> int:
+    """Upper bound on failure-detection latency: the far end of a
+    one-sided failure reacts only after this long."""
+    if kind is StackKind.MTP:
+        return timers.mtp.dead_us
+    # BGP's hold timer is the bound even with BFD enabled (BFD merely
+    # usually beats it); waiting for it costs only simulated time.
+    return timers.bgp.hold_us
+
+
+def run_failure_experiment(
+    params: ClosParams,
+    kind: StackKind,
+    case_name: str,
+    seed: int = 0,
+    timers: Optional[StackTimers] = None,
+    quiet_us: int = 1 * SECOND,
+    max_wait_us: int = 30 * SECOND,
+    settle_us: Optional[int] = None,
+) -> ExperimentResult:
+    """One failure run: inject the TC, watch updates quiesce, report.
+
+    ``settle_us`` lets the converged fabric idle before the failure.
+    The default draws it per seed from [0, 2 x keepalive interval]: the
+    failure then lands at an arbitrary phase of the keepalive/hello
+    cycle, exactly as on the paper's testbed — which is what makes the
+    remote-detection convergence times vary across runs (the hold/dead
+    timer runs from the *last received* keepalive).
+    """
+    if timers is None:
+        timers = StackTimers()
+    world, topo, deployment = build_and_converge(params, kind, seed, timers)
+    if settle_us is None:
+        phase_rng = world.rng.stream("experiment-settle")
+        period = (timers.mtp.hello_us if kind is StackKind.MTP
+                  else timers.bgp.keepalive_us)
+        settle_us = int(phase_rng.uniform(0, 2 * period))
+    world.run_for(settle_us)
+    case = topo.failure_cases()[case_name]
+    monitor = ConvergenceMonitor(world, deployment.update_categories())
+    before = snapshot_table_change_counts(deployment.forwarding_tables())
+    injector = FailureInjector(world)
+    monitor.arm()
+    injector.fail_case(topo, case)
+    monitor.run_until_quiet(
+        quiet_us=quiet_us,
+        max_wait_us=max_wait_us,
+        min_wait_us=detection_bound_us(kind, timers) + quiet_us,
+    )
+    convergence = monitor.convergence_time_us()
+    blast = blast_radius(before, deployment.forwarding_tables())
+    return ExperimentResult(
+        kind=kind,
+        case=case_name,
+        seed=seed,
+        convergence_us=convergence if convergence is not None else 0,
+        control_bytes=monitor.update_bytes,
+        update_count=monitor.update_count,
+        blast_routers=blast,
+    )
+
+
+def average_failure_runs(
+    params: ClosParams,
+    kind: StackKind,
+    case_name: str,
+    seeds: tuple[int, ...] = (0, 1, 2),
+    timers: Optional[StackTimers] = None,
+) -> ExperimentResult:
+    """Multi-run average, as the paper's plotted values are."""
+    runs = [
+        run_failure_experiment(params, kind, case_name, seed, timers)
+        for seed in seeds
+    ]
+    return ExperimentResult(
+        kind=kind,
+        case=case_name,
+        seed=-1,
+        convergence_us=round(statistics.mean(r.convergence_us for r in runs)),
+        control_bytes=round(statistics.mean(r.control_bytes for r in runs)),
+        update_count=round(statistics.mean(r.update_count for r in runs)),
+        blast_routers=max((r.blast_routers for r in runs), key=len),
+    )
+
+
+# ----------------------------------------------------------------------
+# packet-loss experiment (Figs. 7 and 8)
+# ----------------------------------------------------------------------
+@dataclass
+class PacketLossResult:
+    kind: StackKind
+    case: str
+    direction: str
+    seed: int
+    sent: int
+    received: int
+    duplicated: int
+    out_of_order: int
+    src_port: int
+
+    @property
+    def lost(self) -> int:
+        return self.sent - self.received
+
+
+def run_packet_loss_experiment(
+    params: ClosParams,
+    kind: StackKind,
+    case_name: str,
+    direction: str = "near",
+    seed: int = 0,
+    timers: Optional[StackTimers] = None,
+    rate_pps: int = 1000,
+    lead_us: int = 500 * MILLISECOND,
+    tail_us: int = 5 * SECOND,
+    drain_us: int = 1 * SECOND,
+) -> PacketLossResult:
+    """Traffic between the paper's first and last racks with a failure
+    mid-flow.  ``near``: the sender's rack adjoins the failure (Fig. 7);
+    ``far``: the sender is at the far end (Fig. 8)."""
+    if direction not in ("near", "far"):
+        raise ValueError(f"direction must be near/far, got {direction!r}")
+    world, topo, deployment = build_and_converge(params, kind, seed, timers)
+    case = topo.failure_cases()[case_name]
+
+    near_tor = topo.tors[0][0][0]
+    far_tor = topo.tors[0][-1][-1]  # last pod's last ToR, e.g. VID 14 in 2-PoD
+    src_tor, dst_tor = (near_tor, far_tor) if direction == "near" else (far_tor, near_tor)
+    src_host = topo.first_server_of(src_tor)
+    dst_host = topo.first_server_of(dst_tor)
+
+    src_port = find_crossing_flow(
+        deployment, src_host, dst_host, case.node, case.peer_node
+    )
+    if src_port is None:
+        raise RuntimeError(
+            f"no flow from {src_host} to {dst_host} crosses "
+            f"{case.node}<->{case.peer_node}"
+        )
+
+    gap_us = SECOND // rate_pps
+    count = (lead_us + tail_us) // gap_us
+    sender = TrafficSender(
+        udp=deployment.servers[src_host].udp,
+        dst=topo.server_address(dst_host),
+        src_port=src_port,
+        gap_us=gap_us,
+    )
+    analyzer = ReceiverAnalyzer(deployment.servers[dst_host].udp)
+    injector = FailureInjector(world)
+    start_at = world.sim.now
+    sender.start(count=int(count))
+    injector.fail_case(topo, case, at=start_at + lead_us)
+    world.run(until=start_at + lead_us + tail_us + drain_us)
+    report = analyzer.report(sender)
+    return PacketLossResult(
+        kind=kind,
+        case=case_name,
+        direction=direction,
+        seed=seed,
+        sent=report.sent,
+        received=report.received,
+        duplicated=report.duplicated,
+        out_of_order=report.out_of_order,
+        src_port=src_port,
+    )
+
+
+# ----------------------------------------------------------------------
+# keepalive overhead (Figs. 9 and 10)
+# ----------------------------------------------------------------------
+def run_keepalive_experiment(
+    params: ClosParams,
+    kind: StackKind,
+    seed: int = 0,
+    timers: Optional[StackTimers] = None,
+    window_us: int = 5 * SECOND,
+) -> KeepaliveBreakdown:
+    """Steady-state liveness traffic on the first ToR-agg link: a
+    converged, idle fabric observed through a capture for ``window_us``
+    (the paper's Wireshark methodology in section VII.F)."""
+    world, topo, deployment = build_and_converge(params, kind, seed, timers)
+    link = world.find_link(topo.tors[0][0][0], topo.aggs[0][0][0])
+    capture = Capture()
+    capture.attach((link.end_a, link.end_b))
+    since = world.sim.now
+    world.run_for(window_us)
+    return keepalive_overhead(capture, since=since, until=world.sim.now)
+
+
+# ----------------------------------------------------------------------
+# configuration cost (Listings 1 and 2)
+# ----------------------------------------------------------------------
+@dataclass
+class ConfigCostResult:
+    kind: StackKind
+    routers: int
+    total_lines: int
+    documents: int  # config artifacts an operator maintains
+
+    @property
+    def lines_per_router(self) -> float:
+        return self.total_lines / self.routers if self.routers else 0.0
+
+
+def run_config_cost_experiment(
+    params: ClosParams,
+    kind: StackKind,
+    seed: int = 0,
+    timers: Optional[StackTimers] = None,
+) -> ConfigCostResult:
+    """Count the configuration an operator writes: per-router FRR configs
+    for BGP (Listing 1) vs one fabric-wide JSON for MR-MTP (Listing 2)."""
+    world, topo, deployment = build_and_converge(
+        params, kind, seed, timers, trace_enabled=False,
+        max_converge_us=120 * SECOND,
+    )
+    n_routers = len(topo.routers())
+    if kind is StackKind.MTP:
+        lines = len(deployment.config.config_lines())
+        return ConfigCostResult(kind=kind, routers=n_routers,
+                                total_lines=lines, documents=1)
+    total = sum(
+        len(speaker.config.config_lines())
+        for speaker in deployment.speakers.values()
+    )
+    return ConfigCostResult(kind=kind, routers=n_routers,
+                            total_lines=total, documents=n_routers)
+
+
+# ----------------------------------------------------------------------
+# routing-table size (Listings 3 and 5)
+# ----------------------------------------------------------------------
+@dataclass
+class TableSizeResult:
+    kind: StackKind
+    node: str
+    entries: int
+    memory_bytes: int
+    rendered: str
+
+
+def run_table_size_experiment(
+    params: ClosParams,
+    kind: StackKind,
+    seed: int = 0,
+    timers: Optional[StackTimers] = None,
+) -> dict[str, TableSizeResult]:
+    """Converged forwarding state at one agg and one top spine — the
+    comparison behind the paper's Listings 3 and 5."""
+    world, topo, deployment = build_and_converge(params, kind, seed, timers)
+    results = {}
+    for role, node_name in (("agg", topo.aggs[0][0][0]),
+                            ("top", topo.tops[0][0][0]),
+                            ("tor", topo.tors[0][0][0])):
+        if kind is StackKind.MTP:
+            table = deployment.mtp_nodes[node_name].table
+            entries = table.entry_count()
+        else:
+            table = deployment.stacks[node_name].table
+            entries = len(table)
+        results[role] = TableSizeResult(
+            kind=kind, node=node_name, entries=entries,
+            memory_bytes=table.memory_bytes(), rendered=table.render(),
+        )
+    return results

@@ -1,0 +1,116 @@
+"""Failure injection.
+
+The analogue of the paper's remote bash script that "would bring down an
+interface and record the time of this event at the node" — the recorded
+time is the convergence-calculation start (section VI.B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.net.world import World
+from repro.topology.clos import ClosTopology, FailureCase
+
+
+@dataclass(frozen=True)
+class InjectedFailure:
+    node: str
+    interface: str
+    time: int
+    kind: str  # "down" | "up"
+
+
+class FailureInjector:
+    def __init__(self, world: World) -> None:
+        self.world = world
+        self.events: list[InjectedFailure] = []
+
+    # ------------------------------------------------------------------
+    def fail_interface(self, node_name: str, iface_name: str,
+                       at: Optional[int] = None) -> None:
+        """Bring the interface down now or at absolute time ``at``."""
+        if at is None:
+            self._do(node_name, iface_name, False)
+        else:
+            self.world.sim.schedule_at(at, self._do, node_name, iface_name, False)
+
+    def restore_interface(self, node_name: str, iface_name: str,
+                          at: Optional[int] = None) -> None:
+        if at is None:
+            self._do(node_name, iface_name, True)
+        else:
+            self.world.sim.schedule_at(at, self._do, node_name, iface_name, True)
+
+    def fail_case(self, topo: ClosTopology, case: FailureCase,
+                  at: Optional[int] = None) -> None:
+        self.fail_interface(case.node, case.interface, at)
+
+    def flap_interface(self, node_name: str, iface_name: str,
+                       period_us: int, count: int,
+                       start_at: Optional[int] = None,
+                       up_period_us: Optional[int] = None) -> None:
+        """Toggle an interface down/up ``count`` times — the flapping
+        workload for the Slow-to-Accept ablation.  ``period_us`` is the
+        down-window; ``up_period_us`` (default: the same) the up-window."""
+        base = self.world.sim.now if start_at is None else start_at
+        up_period = period_us if up_period_us is None else up_period_us
+        cycle = period_us + up_period
+        for i in range(count):
+            self.fail_interface(node_name, iface_name, at=base + i * cycle)
+            self.restore_interface(node_name, iface_name,
+                                   at=base + i * cycle + period_us)
+
+    # ------------------------------------------------------------------
+    # extended failure cases (paper section IX future work)
+    # ------------------------------------------------------------------
+    def fail_node(self, node_name: str, at: Optional[int] = None) -> None:
+        """Whole-device failure: every interface goes down at once."""
+        node = self.world.nodes[node_name]
+        for iface_name in list(node.interfaces):
+            self.fail_interface(node_name, iface_name, at=at)
+
+    def restore_node(self, node_name: str, at: Optional[int] = None) -> None:
+        node = self.world.nodes[node_name]
+        for iface_name in list(node.interfaces):
+            self.restore_interface(node_name, iface_name, at=at)
+
+    def cut_link(self, node_a: str, node_b: str,
+                 at: Optional[int] = None) -> None:
+        """Bidirectional link cut: both ends lose their interface (a
+        fiber cut rather than the paper's one-sided admin-down)."""
+        link = self.world.find_link(node_a, node_b)
+        if link is None:
+            raise ValueError(f"no link between {node_a} and {node_b}")
+        self.fail_interface(node_a, link.end_a.name
+                            if link.end_a.node.name == node_a
+                            else link.end_b.name, at=at)
+        self.fail_interface(node_b, link.end_b.name
+                            if link.end_b.node.name == node_b
+                            else link.end_a.name, at=at)
+
+    def restore_link(self, node_a: str, node_b: str,
+                     at: Optional[int] = None) -> None:
+        link = self.world.find_link(node_a, node_b)
+        if link is None:
+            raise ValueError(f"no link between {node_a} and {node_b}")
+        for end in (link.end_a, link.end_b):
+            self.restore_interface(end.node.name, end.name, at=at)
+
+    # ------------------------------------------------------------------
+    def _do(self, node_name: str, iface_name: str, up: bool) -> None:
+        node = self.world.nodes[node_name]
+        event = InjectedFailure(node=node_name, interface=iface_name,
+                                time=self.world.sim.now,
+                                kind="up" if up else "down")
+        self.events.append(event)
+        self.world.trace.emit(node_name, "fail.inject",
+                              f"{iface_name} {'up' if up else 'down'}")
+        node.interfaces[iface_name].set_admin(up)
+
+    def last_failure_time(self) -> int:
+        downs = [e.time for e in self.events if e.kind == "down"]
+        if not downs:
+            raise ValueError("no failure injected yet")
+        return downs[-1]

@@ -1,0 +1,288 @@
+"""Self-contained HTML report with inline-SVG charts.
+
+Renders the reproduction's headline figures as dependency-free HTML: a
+log-axis dot plot for convergence times (four orders of magnitude) and
+grouped bar charts for the linear metrics, plus a data table under every
+chart.  Visual rules follow the repo's charting method: a fixed,
+CVD-validated categorical order (MR-MTP blue, BGP aqua, BGP+BFD yellow
+— validated for both light and dark surfaces), thin marks with rounded
+data ends and surface gaps, recessive hairline grid, direct value
+labels in text ink (never series-colored text), a legend for the three
+series, native hover tooltips, and an expandable table view.
+"""
+
+from __future__ import annotations
+
+import html
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence, Union
+
+# categorical slots, fixed order (validated light & dark)
+LIGHT_SERIES = ("#2a78d6", "#1baf7a", "#eda100")
+DARK_SERIES = ("#3987e5", "#199e70", "#c98500")
+
+CSS = """
+:root {
+  --surface-1: #fcfcfb;
+  --text-primary: #0b0b0b;
+  --text-secondary: #52514e;
+  --grid: #e4e3df;
+  --series-1: #2a78d6;
+  --series-2: #1baf7a;
+  --series-3: #eda100;
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    --surface-1: #1a1a19;
+    --text-primary: #ffffff;
+    --text-secondary: #c3c2b7;
+    --grid: #33322f;
+    --series-1: #3987e5;
+    --series-2: #199e70;
+    --series-3: #c98500;
+  }
+}
+body {
+  background: var(--surface-1);
+  color: var(--text-primary);
+  font: 14px/1.5 system-ui, -apple-system, "Segoe UI", sans-serif;
+  max-width: 880px; margin: 2rem auto; padding: 0 1rem;
+}
+h1 { font-size: 22px; }
+h2 { font-size: 16px; margin: 2.2rem 0 0.2rem; }
+.note { color: var(--text-secondary); font-size: 12.5px; margin: 0 0 0.6rem; }
+.legend { display: flex; gap: 1.2rem; margin: 0.4rem 0 0.2rem; font-size: 12.5px;
+          color: var(--text-secondary); }
+.legend .key { display: inline-flex; align-items: center; gap: 0.4rem; }
+.legend .swatch { width: 10px; height: 10px; border-radius: 3px; display: inline-block; }
+svg text { fill: var(--text-primary); font: 11px system-ui, sans-serif; }
+svg .tick { fill: var(--text-secondary); }
+svg .gridline { stroke: var(--grid); stroke-width: 1; }
+svg .axis { stroke: var(--grid); stroke-width: 1; }
+svg .mark:hover { opacity: 0.8; }
+details { margin: 0.4rem 0 1rem; }
+summary { color: var(--text-secondary); font-size: 12.5px; cursor: pointer; }
+table { border-collapse: collapse; font-size: 12.5px; margin-top: 0.4rem; }
+td, th { padding: 2px 12px 2px 0; text-align: right;
+         font-variant-numeric: tabular-nums; }
+th:first-child, td:first-child { text-align: left; }
+thead th { color: var(--text-secondary); font-weight: 500; }
+"""
+
+
+@dataclass
+class SeriesSet:
+    """One chart's data: categories x named series."""
+
+    categories: Sequence[str]
+    names: Sequence[str]
+    values: Sequence[Sequence[float]]  # values[series][category]
+
+    def __post_init__(self) -> None:
+        if len(self.names) != len(self.values):
+            raise ValueError("one value row per series name")
+        if len(self.names) > 3:
+            raise ValueError("the report's fixed palette carries 3 series")
+        for row in self.values:
+            if len(row) != len(self.categories):
+                raise ValueError("each row needs one value per category")
+
+
+def _fmt(value: float) -> str:
+    if value >= 1000:
+        return f"{value:,.0f}"
+    if value >= 10:
+        return f"{value:.0f}"
+    if value >= 1:
+        return f"{value:.2g}"
+    return f"{value:.2f}"
+
+
+def _nice_max(value: float) -> float:
+    """Round up to 1/2/5 x 10^k for a clean axis top."""
+    if value <= 0:
+        return 1.0
+    import math
+
+    exp = math.floor(math.log10(value))
+    for mult in (1, 2, 5, 10):
+        candidate = mult * 10 ** exp
+        if candidate >= value:
+            return candidate
+    return 10 ** (exp + 1)
+
+
+def _legend(names: Sequence[str]) -> str:
+    keys = []
+    for i, name in enumerate(names):
+        keys.append(
+            f'<span class="key"><span class="swatch" '
+            f'style="background:var(--series-{i + 1})"></span>'
+            f'{html.escape(name)}</span>'
+        )
+    return f'<div class="legend">{"".join(keys)}</div>'
+
+
+def _table(data: SeriesSet, unit: str) -> str:
+    head = "".join(f"<th>{html.escape(c)}</th>" for c in data.categories)
+    rows = []
+    for name, row in zip(data.names, data.values):
+        cells = "".join(f"<td>{_fmt(v)}</td>" for v in row)
+        rows.append(f"<tr><td>{html.escape(name)}</td>{cells}</tr>")
+    return (
+        f"<details><summary>data table ({html.escape(unit)})</summary>"
+        f"<table><thead><tr><th></th>{head}</tr></thead>"
+        f"<tbody>{''.join(rows)}</tbody></table></details>"
+    )
+
+
+def _rounded_bar(x: float, y: float, w: float, h: float, r: float = 4) -> str:
+    """Bar path: rounded at the data end (top), square at the baseline."""
+    r = min(r, w / 2, h)
+    return (
+        f"M {x:.1f} {y + h:.1f} L {x:.1f} {y + r:.1f} "
+        f"Q {x:.1f} {y:.1f} {x + r:.1f} {y:.1f} "
+        f"L {x + w - r:.1f} {y:.1f} "
+        f"Q {x + w:.1f} {y:.1f} {x + w:.1f} {y + r:.1f} "
+        f"L {x + w:.1f} {y + h:.1f} Z"
+    )
+
+
+def grouped_bar_chart(title: str, data: SeriesSet, unit: str,
+                      note: str = "") -> str:
+    """Linear-scale grouped bars with value labels at the caps."""
+    width, height = 760, 300
+    left, right, top, bottom = 56, 12, 18, 34
+    plot_w = width - left - right
+    plot_h = height - top - bottom
+    peak = max(max(row) for row in data.values)
+    axis_max = _nice_max(peak * 1.12)
+
+    def y_of(value: float) -> float:
+        return top + plot_h * (1 - value / axis_max)
+
+    parts = [f'<svg viewBox="0 0 {width} {height}" role="img" '
+             f'aria-label="{html.escape(title)}">']
+    # gridlines + ticks at 0, 1/4 ... axis_max
+    for frac in (0, 0.25, 0.5, 0.75, 1.0):
+        value = axis_max * frac
+        y = y_of(value)
+        parts.append(f'<line class="gridline" x1="{left}" y1="{y:.1f}" '
+                     f'x2="{width - right}" y2="{y:.1f}"/>')
+        parts.append(f'<text class="tick" x="{left - 6}" y="{y + 4:.1f}" '
+                     f'text-anchor="end">{_fmt(value)}</text>')
+    # bars
+    n_cat, n_series = len(data.categories), len(data.names)
+    band = plot_w / n_cat
+    gap = 2
+    bar_w = min(24.0, (band * 0.6 - gap * (n_series - 1)) / n_series)
+    group_w = bar_w * n_series + gap * (n_series - 1)
+    for ci, category in enumerate(data.categories):
+        x0 = left + band * ci + (band - group_w) / 2
+        for si, name in enumerate(data.names):
+            value = data.values[si][ci]
+            x = x0 + si * (bar_w + gap)
+            y = y_of(value)
+            h = top + plot_h - y
+            tooltip = f"{name}, {category}: {_fmt(value)} {unit}"
+            parts.append(
+                f'<path class="mark" d="{_rounded_bar(x, y, bar_w, max(h, 1))}" '
+                f'fill="var(--series-{si + 1})">'
+                f'<title>{html.escape(tooltip)}</title></path>'
+            )
+            # direct value label on the cap, in text ink
+            parts.append(
+                f'<text x="{x + bar_w / 2:.1f}" y="{y - 4:.1f}" '
+                f'text-anchor="middle">{_fmt(value)}</text>'
+            )
+        parts.append(
+            f'<text class="tick" x="{left + band * ci + band / 2:.1f}" '
+            f'y="{height - 12}" text-anchor="middle">'
+            f'{html.escape(category)}</text>'
+        )
+    parts.append(f'<line class="axis" x1="{left}" y1="{top + plot_h}" '
+                 f'x2="{width - right}" y2="{top + plot_h}"/>')
+    parts.append("</svg>")
+    return _chart_block(title, data, unit, note, "".join(parts))
+
+
+def dot_plot_log(title: str, data: SeriesSet, unit: str,
+                 note: str = "") -> str:
+    """Horizontal dot plot on a log axis — position (not bar length)
+    encodes the value, which is why a log scale is legitimate here."""
+    import math
+
+    width = 760
+    row_h = 34
+    left, right, top = 56, 40, 26
+    height = top + row_h * len(data.categories) + 36
+    plot_w = width - left - right
+    positives = [v for row in data.values for v in row if v > 0]
+    lo = 10 ** math.floor(math.log10(min(positives)))
+    hi = 10 ** math.ceil(math.log10(max(positives)))
+
+    def x_of(value: float) -> float:
+        value = max(value, lo)
+        return left + plot_w * (math.log10(value) - math.log10(lo)) \
+            / (math.log10(hi) - math.log10(lo))
+
+    parts = [f'<svg viewBox="0 0 {width} {height}" role="img" '
+             f'aria-label="{html.escape(title)}">']
+    decade = lo
+    while decade <= hi:
+        x = x_of(decade)
+        parts.append(f'<line class="gridline" x1="{x:.1f}" y1="{top - 8}" '
+                     f'x2="{x:.1f}" y2="{height - 28}"/>')
+        parts.append(f'<text class="tick" x="{x:.1f}" y="{height - 12}" '
+                     f'text-anchor="middle">{_fmt(decade)}</text>')
+        decade *= 10
+    for ci, category in enumerate(data.categories):
+        y = top + row_h * ci + row_h / 2
+        parts.append(f'<line class="gridline" x1="{left}" y1="{y:.1f}" '
+                     f'x2="{width - right}" y2="{y:.1f}"/>')
+        parts.append(f'<text class="tick" x="{left - 8}" y="{y + 4:.1f}" '
+                     f'text-anchor="end">{html.escape(category)}</text>')
+        for si, name in enumerate(data.names):
+            value = data.values[si][ci]
+            x = x_of(value)
+            tooltip = f"{name}, {category}: {_fmt(value)} {unit}"
+            # 2px surface ring under each >=8px marker
+            parts.append(
+                f'<circle class="mark" cx="{x:.1f}" cy="{y:.1f}" r="7" '
+                f'fill="var(--surface-1)"/>'
+                f'<circle class="mark" cx="{x:.1f}" cy="{y:.1f}" r="5" '
+                f'fill="var(--series-{si + 1})">'
+                f'<title>{html.escape(tooltip)}</title></circle>'
+            )
+    parts.append(f'<text class="tick" x="{width - right}" y="{height - 12}" '
+                 f'text-anchor="end">{html.escape(unit)}, log scale</text>')
+    parts.append("</svg>")
+    return _chart_block(title, data, unit, note, "".join(parts))
+
+
+def _chart_block(title: str, data: SeriesSet, unit: str, note: str,
+                 svg: str) -> str:
+    block = [f"<h2>{html.escape(title)}</h2>"]
+    if note:
+        block.append(f'<p class="note">{html.escape(note)}</p>')
+    block.append(_legend(data.names))
+    block.append(svg)
+    block.append(_table(data, unit))
+    return "".join(block)
+
+
+def render_report(title: str, intro: str, blocks: Sequence[str],
+                  out_path: Union[str, Path]) -> Path:
+    """Assemble chart blocks into one self-contained HTML file."""
+    out_path = Path(out_path)
+    body = "".join(blocks)
+    out_path.write_text(
+        "<!doctype html><html><head><meta charset='utf-8'>"
+        f"<title>{html.escape(title)}</title>"
+        f"<style>{CSS}</style></head><body>"
+        f"<h1>{html.escape(title)}</h1>"
+        f"<p class='note'>{html.escape(intro)}</p>"
+        f"{body}</body></html>"
+    )
+    return out_path

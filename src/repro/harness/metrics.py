@@ -1,0 +1,137 @@
+"""Metric computation (paper section V).
+
+Blast radius, control overhead and keepalive overhead, computed from the
+forwarding-table change counters, the trace log and packet captures — the
+same data sources (logs + tshark) the paper's scripts parse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.sim.trace import TraceLog
+from repro.sim.units import SECOND
+from repro.net.capture import Capture
+from repro.stack.ethernet import ETHERTYPE_IPV4, ETHERTYPE_MTP, EthernetFrame
+from repro.stack.ipv4 import Ipv4Packet, PROTO_TCP, PROTO_UDP
+from repro.stack.tcp_segment import TcpSegment
+from repro.stack.udp import UdpDatagram
+from repro.bfd.messages import BFD_PORT
+from repro.bgp.messages import BGP_PORT
+from repro.core.messages import MtpKeepalive
+
+
+# ----------------------------------------------------------------------
+# blast radius
+# ----------------------------------------------------------------------
+def snapshot_table_change_counts(tables: dict[str, object]) -> dict[str, int]:
+    """Capture each router's forwarding-table change counter."""
+    return {name: table.change_count for name, table in tables.items()}
+
+
+def blast_radius(
+    before: dict[str, int],
+    tables: dict[str, object],
+    exclude: Iterable[str] = (),
+) -> list[str]:
+    """Routers whose forwarding tables changed since ``before`` — "the
+    number of routers that updated their routing tables subsequent to a
+    topology change" (section VII.B).  ``exclude`` typically removes the
+    node whose interface was administratively downed."""
+    excluded = set(exclude)
+    return sorted(
+        name
+        for name, table in tables.items()
+        if name not in excluded and table.change_count > before.get(name, 0)
+    )
+
+
+# ----------------------------------------------------------------------
+# control overhead
+# ----------------------------------------------------------------------
+def control_overhead_bytes(
+    trace: TraceLog,
+    categories: tuple[str, ...],
+    since: int,
+    until: Optional[int] = None,
+) -> int:
+    """Sum of L2 bytes in update messages during convergence (section
+    VI.C: "total bytes transferred during the convergence time")."""
+    total = 0
+    for category in categories:
+        for rec in trace.select(category=category, since=since, until=until):
+            total += int(rec.data.get("bytes", 0))
+    return total
+
+
+# ----------------------------------------------------------------------
+# keepalive overhead
+# ----------------------------------------------------------------------
+@dataclass
+class KeepaliveBreakdown:
+    """Steady-state liveness traffic on one link over a window (Fig. 9/10)."""
+
+    window_us: int
+    bgp_keepalive_bytes: int = 0
+    bgp_keepalive_count: int = 0
+    bfd_bytes: int = 0
+    bfd_count: int = 0
+    tcp_ack_bytes: int = 0
+    tcp_ack_count: int = 0
+    mtp_keepalive_bytes: int = 0
+    mtp_keepalive_count: int = 0
+
+    @property
+    def total_bytes(self) -> int:
+        return (self.bgp_keepalive_bytes + self.bfd_bytes
+                + self.tcp_ack_bytes + self.mtp_keepalive_bytes)
+
+    @property
+    def bytes_per_second(self) -> float:
+        return self.total_bytes * SECOND / self.window_us if self.window_us else 0.0
+
+
+def classify_keepalive_frame(frame: EthernetFrame) -> Optional[str]:
+    """One of 'bgp', 'bfd', 'tcp-ack', 'mtp', or None."""
+    if frame.ethertype == ETHERTYPE_MTP:
+        return "mtp" if isinstance(frame.payload, MtpKeepalive) else None
+    if frame.ethertype != ETHERTYPE_IPV4:
+        return None
+    packet = frame.payload
+    if not isinstance(packet, Ipv4Packet):
+        return None
+    if packet.proto == PROTO_UDP and isinstance(packet.payload, UdpDatagram):
+        return "bfd" if packet.payload.dst_port == BFD_PORT else None
+    if packet.proto == PROTO_TCP and isinstance(packet.payload, TcpSegment):
+        seg = packet.payload
+        if BGP_PORT not in (seg.src_port, seg.dst_port):
+            return None
+        if seg.data_len == 0 and seg.seq_space == 0:
+            return "tcp-ack"
+        # a 19-byte BGP message on an established session is a KEEPALIVE
+        if seg.data_len == 19:
+            return "bgp"
+    return None
+
+
+def keepalive_overhead(capture: Capture, since: int, until: int) -> KeepaliveBreakdown:
+    """Classify captured liveness frames on a link over [since, until]."""
+    result = KeepaliveBreakdown(window_us=until - since)
+    for rec in capture.select(since=since, until=until):
+        if rec.direction.value != "tx":
+            continue
+        kind = classify_keepalive_frame(rec.frame)
+        if kind == "bgp":
+            result.bgp_keepalive_bytes += rec.wire_size
+            result.bgp_keepalive_count += 1
+        elif kind == "bfd":
+            result.bfd_bytes += rec.wire_size
+            result.bfd_count += 1
+        elif kind == "tcp-ack":
+            result.tcp_ack_bytes += rec.wire_size
+            result.tcp_ack_count += 1
+        elif kind == "mtp":
+            result.mtp_keepalive_bytes += rec.wire_size
+            result.mtp_keepalive_count += 1
+    return result

@@ -1,0 +1,129 @@
+"""Ground-truth reachability oracle.
+
+Computes, from the physical topology and the set of alive links alone,
+which rack pairs *should* be able to communicate under valley-free
+(up*-then-down*) Clos routing — the routing discipline both MR-MTP and
+RFC 7938 BGP implement.  Comparing the oracle against what the deployed
+protocol actually forwards catches both failure modes:
+
+* **blackholes** — the oracle says reachable, the protocol drops;
+* **over-pruning** — same symptom, caused by marks/withdrawals that
+  removed more state than the failure justified.
+
+(The reverse disagreement cannot occur: a completed path trace is a
+constructive proof of reachability.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+import networkx as nx
+
+from repro.topology.clos import ClosTopology, TIER_SERVER
+from repro.harness.pathtrace import trace_path
+
+
+def alive_fabric_graph(topo: ClosTopology) -> nx.DiGraph:
+    """Directed graph of alive fabric links: an edge u->v exists when a
+    frame can actually travel from u to v (u's interface can transmit
+    and v's can receive — the paper's one-sided failure semantics)."""
+    graph = nx.DiGraph()
+    for name in topo.routers():
+        graph.add_node(name, tier=topo.node(name).tier)
+    for link in topo.world.links:
+        a, b = link.end_a, link.end_b
+        if a.node.tier == TIER_SERVER or b.node.tier == TIER_SERVER:
+            continue
+        if a.admin_up and b.admin_up:
+            graph.add_edge(a.node.name, b.node.name)
+            graph.add_edge(b.node.name, a.node.name)
+    return graph
+
+
+def _up_closure(graph: nx.DiGraph, start: str) -> set[str]:
+    """Nodes reachable from ``start`` along strictly tier-increasing
+    alive edges (the 'up' phase of a valley-free path)."""
+    closure = {start}
+    frontier = [start]
+    while frontier:
+        here = frontier.pop()
+        here_tier = graph.nodes[here]["tier"]
+        for nxt in graph.successors(here):
+            if graph.nodes[nxt]["tier"] > here_tier and nxt not in closure:
+                closure.add(nxt)
+                frontier.append(nxt)
+    return closure
+
+
+def _down_closure(graph: nx.DiGraph, start: str) -> set[str]:
+    """Nodes that can reach ``start`` along strictly tier-decreasing
+    alive edges (the 'down' phase, walked backwards)."""
+    closure = {start}
+    frontier = [start]
+    while frontier:
+        here = frontier.pop()
+        here_tier = graph.nodes[here]["tier"]
+        for prev in graph.predecessors(here):
+            if graph.nodes[prev]["tier"] > here_tier and prev not in closure:
+                closure.add(prev)
+                frontier.append(prev)
+    return closure
+
+
+def oracle_reachable(topo: ClosTopology, src_tor: str, dst_tor: str) -> bool:
+    """True when a valley-free path src_tor -> dst_tor exists over the
+    alive links: some node lies both in src's up-closure and in the set
+    of nodes that can descend to dst."""
+    graph = alive_fabric_graph(topo)
+    if src_tor not in graph or dst_tor not in graph:
+        return False
+    return bool(_up_closure(graph, src_tor) & _down_closure(graph, dst_tor))
+
+
+@dataclass
+class OracleDisagreement:
+    src_tor: str
+    dst_tor: str
+    oracle_reachable: bool
+    protocol_reachable: bool
+    detail: str
+
+
+def compare_with_oracle(
+    deployment,
+    topo: ClosTopology,
+    probe_ports: Iterable[int] = (40000, 40001, 40002, 40003),
+) -> list[OracleDisagreement]:
+    """Check every rack pair against the oracle; return disagreements.
+
+    The protocol is *required* to deliver whenever the oracle says a
+    valley-free path exists, and must not complete a trace when none
+    does (the latter would mean the trace walked a valley).
+    """
+    disagreements = []
+    tors = topo.all_tors()
+    for src_tor in tors:
+        for dst_tor in tors:
+            if src_tor == dst_tor:
+                continue
+            expected = oracle_reachable(topo, src_tor, dst_tor)
+            src = topo.first_server_of(src_tor)
+            dst = topo.first_server_of(dst_tor)
+            delivered = 0
+            first_error = ""
+            for port in probe_ports:
+                try:
+                    trace_path(deployment, src, dst, src_port=port)
+                    delivered += 1
+                except RuntimeError as exc:
+                    if not first_error:
+                        first_error = str(exc)
+            actual = delivered == len(tuple(probe_ports))
+            if actual != expected:
+                disagreements.append(OracleDisagreement(
+                    src_tor, dst_tor, expected, actual,
+                    first_error or f"{delivered} of probes delivered",
+                ))
+    return disagreements

@@ -1,0 +1,41 @@
+"""Plain-text result tables.
+
+Benchmarks render the paper's figures as aligned text tables and persist
+them under ``benchmarks/results/`` so a run leaves the regenerated
+rows/series on disk next to the expectations in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Sequence
+
+
+def render_table(
+    title: str,
+    columns: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    note: str = "",
+) -> str:
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(c) for c in columns]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells):
+        return "  ".join(cell.ljust(w) for cell, w in zip(cells, widths)).rstrip()
+
+    out = [title, "=" * len(title), line(columns),
+           line(["-" * w for w in widths])]
+    out += [line(row) for row in str_rows]
+    if note:
+        out += ["", note]
+    return "\n".join(out)
+
+
+def save_result(results_dir: Path, name: str, text: str) -> Path:
+    results_dir.mkdir(parents=True, exist_ok=True)
+    path = results_dir / f"{name}.txt"
+    path.write_text(text + "\n")
+    return path

@@ -1,0 +1,121 @@
+"""Exhaustive single-failure robustness sweep.
+
+For every fabric interface: build a fresh fabric, converge, fail that
+one interface, let the protocol reconverge, then verify by path-tracing
+that every rack can still reach every other rack (a folded-Clos with
+redundancy >= 2 keeps physical connectivity under any single interface
+failure, so any unreachable pair is a protocol bug — a blackhole the
+paper's four hand-picked TCs would never catch).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.sim.units import SECOND
+from repro.topology.clos import ClosParams, ClosTopology, TIER_SERVER
+from repro.harness.experiments import (
+    StackKind,
+    StackTimers,
+    build_and_converge,
+    detection_bound_us,
+)
+from repro.harness.pathtrace import trace_path
+
+
+@dataclass(frozen=True)
+class FailurePoint:
+    node: str
+    interface: str
+    peer: str
+
+
+@dataclass
+class SweepResult:
+    point: FailurePoint
+    pairs_checked: int
+    unreachable: list[tuple[str, str, str]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.unreachable
+
+
+def fabric_failure_points(topo: ClosTopology) -> list[FailurePoint]:
+    """Every router-to-router interface in the fabric."""
+    points = []
+    for name in topo.routers():
+        node = topo.node(name)
+        for iface in node.interfaces.values():
+            peer = iface.peer()
+            if peer is None or peer.node.tier == TIER_SERVER:
+                continue
+            points.append(FailurePoint(name, iface.name, peer.node.name))
+    return points
+
+
+def _rack_pairs(topo: ClosTopology) -> list[tuple[str, str]]:
+    tors = topo.all_tors()
+    return [(a, b) for a in tors for b in tors if a != b]
+
+
+def check_all_pairs(
+    deployment,
+    topo: ClosTopology,
+    probe_ports: Iterable[int] = (40000, 40001, 40002, 40003),
+) -> tuple[int, list[tuple[str, str, str]]]:
+    """Trace several flows between every rack pair; collect failures."""
+    unreachable = []
+    checked = 0
+    for src_tor, dst_tor in _rack_pairs(topo):
+        src = topo.first_server_of(src_tor)
+        dst = topo.first_server_of(dst_tor)
+        checked += 1
+        for port in probe_ports:
+            try:
+                trace_path(deployment, src, dst, src_port=port)
+            except RuntimeError as exc:
+                unreachable.append((src_tor, dst_tor, str(exc)))
+                break
+    return checked, unreachable
+
+
+def single_failure_sweep(
+    params: ClosParams,
+    kind: StackKind,
+    seed: int = 0,
+    timers: Optional[StackTimers] = None,
+    points: Optional[list[FailurePoint]] = None,
+    reconverge_margin_us: int = 1 * SECOND,
+) -> list[SweepResult]:
+    """Run the sweep; one fresh world per failure point."""
+    if timers is None:
+        timers = StackTimers()
+    results = []
+    if points is None:
+        # probe build to enumerate the failure points
+        world, topo, _ = build_and_converge(params, kind, seed, timers)
+        points = fabric_failure_points(topo)
+    for point in points:
+        world, topo, deployment = build_and_converge(params, kind, seed,
+                                                     timers)
+        topo.node(point.node).interfaces[point.interface].set_admin(False)
+        world.run_for(detection_bound_us(kind, timers) + reconverge_margin_us)
+        checked, unreachable = check_all_pairs(deployment, topo)
+        results.append(SweepResult(point=point, pairs_checked=checked,
+                                   unreachable=unreachable))
+    return results
+
+
+def summarize(results: list[SweepResult]) -> str:
+    bad = [r for r in results if not r.ok]
+    lines = [
+        f"sweep: {len(results)} failure points, "
+        f"{sum(r.pairs_checked for r in results)} pair checks, "
+        f"{len(bad)} points with blackholes",
+    ]
+    for r in bad:
+        lines.append(f"  FAIL {r.point.node}:{r.point.interface} "
+                     f"(peer {r.point.peer}): {r.unreachable[:3]}")
+    return "\n".join(lines)

@@ -1,0 +1,13 @@
+"""Host IP stack.
+
+The per-node "kernel": ARP resolution, IPv4 forwarding with ECMP, local
+delivery, and the UDP/TCP transport services that BFD and BGP ride on.
+MR-MTP deliberately bypasses everything in this package inside the fabric
+— that bypass is the 6-protocols-replaced-by-1 claim of the paper.
+"""
+
+from repro.iputil.stack import IpStack
+from repro.iputil.udp_service import UdpService
+from repro.iputil.tcp import TcpService, TcpConnection, TcpState
+
+__all__ = ["IpStack", "UdpService", "TcpService", "TcpConnection", "TcpState"]

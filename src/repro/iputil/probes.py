@@ -1,0 +1,192 @@
+"""Ping and traceroute over the simulated IP stack.
+
+Data-plane probing utilities: RTT measurement and hop discovery.  Under
+the BGP fabric a traceroute reveals every router hop (each decrements
+TTL); under MR-MTP the fabric is a single IP hop — the encapsulated
+transit never touches the inner TTL, exactly like the VXLAN-style
+overlay the paper assumes for inter-rack VM traffic (section III.A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.sim.timers import Timer
+from repro.sim.units import MILLISECOND, SECOND
+from repro.stack.addresses import Ipv4Address
+from repro.stack.icmp import IcmpMessage, IcmpType
+from repro.iputil.stack import IpStack
+
+_next_identifier = 0
+
+
+def _new_identifier() -> int:
+    global _next_identifier
+    _next_identifier = (_next_identifier + 1) % 0xFFFF
+    return _next_identifier or 1
+
+
+@dataclass
+class PingResult:
+    sent: int
+    received: int
+    rtts_us: list[int] = field(default_factory=list)
+
+    @property
+    def lost(self) -> int:
+        return self.sent - self.received
+
+    @property
+    def min_rtt_us(self) -> Optional[int]:
+        return min(self.rtts_us) if self.rtts_us else None
+
+    @property
+    def avg_rtt_us(self) -> Optional[float]:
+        return sum(self.rtts_us) / len(self.rtts_us) if self.rtts_us else None
+
+
+class Pinger:
+    """Sends echo requests and collects RTTs; calls back when done."""
+
+    def __init__(
+        self,
+        stack: IpStack,
+        dst: Ipv4Address,
+        count: int = 5,
+        interval_us: int = 100 * MILLISECOND,
+        timeout_us: int = 1 * SECOND,
+        on_done: Optional[Callable[[PingResult], None]] = None,
+    ) -> None:
+        self.stack = stack
+        self.sim = stack.sim
+        self.dst = dst
+        self.count = count
+        self.interval_us = interval_us
+        self.timeout_us = timeout_us
+        self.on_done = on_done
+        self.identifier = _new_identifier()
+        self.result = PingResult(sent=0, received=0)
+        self._sent_at: dict[int, int] = {}
+        self._finished = False
+        stack.add_icmp_listener(self._on_icmp)
+
+    def start(self) -> None:
+        self._send_next()
+
+    def _send_next(self) -> None:
+        if self.result.sent >= self.count:
+            self.sim.schedule_after(self.timeout_us, self._finish)
+            return
+        seq = self.result.sent
+        self._sent_at[seq] = self.sim.now
+        self.stack.send_echo_request(self.dst, self.identifier, seq)
+        self.result.sent += 1
+        self.sim.schedule_after(self.interval_us, self._send_next)
+
+    def _on_icmp(self, message: IcmpMessage, src: Ipv4Address) -> None:
+        if (message.icmp_type is not IcmpType.ECHO_REPLY
+                or message.identifier != self.identifier
+                or src != self.dst):
+            return
+        sent_at = self._sent_at.pop(message.sequence, None)
+        if sent_at is None:
+            return
+        self.result.received += 1
+        self.result.rtts_us.append(self.sim.now - sent_at)
+
+    def _finish(self) -> None:
+        if self._finished:
+            return
+        self._finished = True
+        self.stack.remove_icmp_listener(self._on_icmp)
+        if self.on_done:
+            self.on_done(self.result)
+
+
+@dataclass
+class TracerouteHop:
+    ttl: int
+    address: Optional[Ipv4Address]  # None = no answer (silent hop)
+    rtt_us: Optional[int]
+    reached: bool = False
+
+
+class Traceroute:
+    """Classic TTL-walking traceroute with one probe per hop."""
+
+    def __init__(
+        self,
+        stack: IpStack,
+        dst: Ipv4Address,
+        max_hops: int = 16,
+        probe_timeout_us: int = 500 * MILLISECOND,
+        on_done: Optional[Callable[[list[TracerouteHop]], None]] = None,
+    ) -> None:
+        self.stack = stack
+        self.sim = stack.sim
+        self.dst = dst
+        self.max_hops = max_hops
+        self.on_done = on_done
+        self.identifier = _new_identifier()
+        self.hops: list[TracerouteHop] = []
+        self._ttl = 0
+        self._probe_sent_at = 0
+        self._answered = False
+        self._timeout = Timer(self.sim, probe_timeout_us, self._on_timeout,
+                              name="traceroute")
+        stack.add_icmp_listener(self._on_icmp)
+
+    def start(self) -> None:
+        self._next_probe()
+
+    def _next_probe(self) -> None:
+        self._ttl += 1
+        if self._ttl > self.max_hops:
+            self._finish()
+            return
+        self._answered = False
+        self._probe_sent_at = self.sim.now
+        self.stack.send_echo_request(self.dst, self.identifier,
+                                     sequence=self._ttl, ttl=self._ttl)
+        self._timeout.start()
+
+    def _on_icmp(self, message: IcmpMessage, src: Ipv4Address) -> None:
+        if self._answered:
+            return
+        rtt = self.sim.now - self._probe_sent_at
+        if (message.icmp_type is IcmpType.ECHO_REPLY
+                and message.identifier == self.identifier
+                and src == self.dst):
+            self._answered = True
+            self._timeout.stop()
+            self.hops.append(TracerouteHop(self._ttl, src, rtt, reached=True))
+            self._finish()
+        elif message.icmp_type is IcmpType.TIME_EXCEEDED:
+            self._answered = True
+            self._timeout.stop()
+            self.hops.append(TracerouteHop(self._ttl, src, rtt))
+            self._next_probe()
+
+    def _on_timeout(self) -> None:
+        if self._answered:
+            return
+        self.hops.append(TracerouteHop(self._ttl, None, None))
+        self._next_probe()
+
+    def _finish(self) -> None:
+        self.stack.remove_icmp_listener(self._on_icmp)
+        if self.on_done:
+            self.on_done(self.hops)
+
+    def render(self) -> str:
+        lines = [f"traceroute to {self.dst}, {self.max_hops} hops max"]
+        for hop in self.hops:
+            if hop.address is None:
+                lines.append(f"{hop.ttl:>3d}  *")
+            else:
+                rtt_ms = hop.rtt_us / 1000
+                mark = "  [destination]" if hop.reached else ""
+                lines.append(f"{hop.ttl:>3d}  {hop.address}  "
+                             f"{rtt_ms:.3f} ms{mark}")
+        return "\n".join(lines)

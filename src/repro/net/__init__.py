@@ -1,0 +1,25 @@
+"""Network substrate: nodes, interfaces, point-to-point links, captures.
+
+Failure semantics follow the paper's FABRIC VM behaviour: administratively
+downing an interface raises an *immediate* local link-down event at that
+node, while the peer's interface keeps carrier and only learns of the
+failure through protocol timers (dead/hold/BFD-detect).  That asymmetry is
+exactly what separates TC1 from TC2 and TC3 from TC4 in the evaluation.
+"""
+
+from repro.net.interface import Interface, InterfaceCounters
+from repro.net.link import Link
+from repro.net.node import Node
+from repro.net.capture import Capture, CaptureRecord, Direction
+from repro.net.world import World
+
+__all__ = [
+    "Interface",
+    "InterfaceCounters",
+    "Link",
+    "Node",
+    "Capture",
+    "CaptureRecord",
+    "Direction",
+    "World",
+]

@@ -1,0 +1,129 @@
+"""Network interfaces.
+
+An interface belongs to a node, may be cabled to a link, may carry an IPv4
+address, and keeps tx/rx counters.  ``admin_up`` models ``ip link set
+down`` at that end only — the failure primitive used throughout the
+paper's test cases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.stack.addresses import Ipv4Address, Ipv4Network, MacAddress
+from repro.stack.ethernet import EthernetFrame
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.link import Link
+    from repro.net.node import Node
+
+
+@dataclass
+class InterfaceCounters:
+    tx_frames: int = 0
+    tx_bytes: int = 0
+    rx_frames: int = 0
+    rx_bytes: int = 0
+    tx_dropped_down: int = 0   # frames offered for tx while admin-down
+    rx_dropped_down: int = 0   # frames arriving while admin-down
+    tx_dropped_uncabled: int = 0
+    tx_dropped_queue: int = 0  # egress buffer overflow (congestion)
+
+
+class Interface:
+    """One port of a node."""
+
+    def __init__(
+        self,
+        node: "Node",
+        name: str,
+        mac: MacAddress,
+        port_number: int,
+    ) -> None:
+        self.node = node
+        self.name = name
+        self.mac = mac
+        # 1-based port number: the value MR-MTP appends when deriving child
+        # VIDs ("the port number on which the request arrived").
+        self.port_number = port_number
+        self.link: Optional["Link"] = None
+        self.admin_up: bool = True
+        self.address: Optional[Ipv4Address] = None
+        self.network: Optional[Ipv4Network] = None
+        self.counters = InterfaceCounters()
+        # capture taps: called for every frame tx'd / rx'd on this port
+        self.taps: list[Callable[["Interface", EthernetFrame, str], None]] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def full_name(self) -> str:
+        return f"{self.node.name}:{self.name}"
+
+    @property
+    def cabled(self) -> bool:
+        return self.link is not None
+
+    def assign_address(self, address: Ipv4Address, prefix_len: int) -> None:
+        self.address = address
+        self.network = Ipv4Network.of(address, prefix_len)
+
+    def peer(self) -> Optional["Interface"]:
+        """The interface at the other end of the cable (if cabled)."""
+        if self.link is None:
+            return None
+        return self.link.other_end(self)
+
+    # ------------------------------------------------------------------
+    # admin state — the paper's failure injection primitive
+    # ------------------------------------------------------------------
+    def set_admin(self, up: bool) -> None:
+        """Administratively raise/lower the interface.
+
+        Lowering notifies the local node immediately (kernel link-down
+        event); the peer sees nothing.  Raising also notifies only the
+        local node: protocols apply their own acceptance rules (MR-MTP's
+        Slow-to-Accept, BGP session re-establishment).
+        """
+        if self.admin_up == up:
+            return
+        self.admin_up = up
+        if up:
+            self.node.interface_came_up(self)
+        else:
+            self.node.interface_went_down(self)
+
+    # ------------------------------------------------------------------
+    # data path
+    # ------------------------------------------------------------------
+    def send(self, frame: EthernetFrame) -> bool:
+        """Offer a frame for transmission.  Returns True if it got onto
+        the wire (it may still be dropped at the far end)."""
+        if not self.admin_up:
+            self.counters.tx_dropped_down += 1
+            return False
+        if self.link is None:
+            self.counters.tx_dropped_uncabled += 1
+            return False
+        if not self.link.transmit(self, frame):
+            return False  # egress queue overflow (counted by the link)
+        self.counters.tx_frames += 1
+        self.counters.tx_bytes += frame.wire_size
+        for tap in self.taps:
+            tap(self, frame, "tx")
+        return True
+
+    def deliver(self, frame: EthernetFrame) -> None:
+        """Called by the link when a frame arrives at this end."""
+        if not self.admin_up:
+            self.counters.rx_dropped_down += 1
+            return
+        self.counters.rx_frames += 1
+        self.counters.rx_bytes += frame.wire_size
+        for tap in self.taps:
+            tap(self, frame, "rx")
+        self.node.handle_frame(self, frame)
+
+    def __repr__(self) -> str:
+        state = "up" if self.admin_up else "DOWN"
+        return f"<Interface {self.full_name} {state}>"

@@ -1,0 +1,105 @@
+"""Point-to-point links.
+
+A link models the DCN's fiber pairs: per-direction serialization (frames
+queue behind each other at line rate), a finite tail-drop egress queue,
+and a fixed propagation delay.  Defaults approximate the testbed's
+virtual links: 10 Gb/s, 5 us propagation, 512 KiB per-port buffering.
+Delivery checks the receiving interface's admin state at arrival time,
+so a frame racing an ``ip link set down`` is dropped exactly as on the
+real VM.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.engine import Simulator
+from repro.sim.units import SECOND
+from repro.stack.ethernet import EthernetFrame
+from repro.net.interface import Interface
+
+DEFAULT_BANDWIDTH_BPS = 10_000_000_000  # 10 Gb/s
+DEFAULT_PROPAGATION_US = 5
+DEFAULT_QUEUE_BYTES = 512 * 1024  # per-direction egress buffer
+
+
+class Link:
+    """Full-duplex point-to-point link between two interfaces."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        end_a: Interface,
+        end_b: Interface,
+        bandwidth_bps: int = DEFAULT_BANDWIDTH_BPS,
+        propagation_us: int = DEFAULT_PROPAGATION_US,
+        queue_bytes: Optional[int] = DEFAULT_QUEUE_BYTES,
+    ) -> None:
+        if end_a is end_b:
+            raise ValueError("cannot cable an interface to itself")
+        if end_a.link is not None or end_b.link is not None:
+            raise ValueError("interface already cabled")
+        if bandwidth_bps <= 0:
+            raise ValueError(f"bad bandwidth {bandwidth_bps}")
+        if propagation_us < 0:
+            raise ValueError(f"bad propagation {propagation_us}")
+        if queue_bytes is not None and queue_bytes <= 0:
+            raise ValueError(f"bad queue size {queue_bytes}")
+        self.sim = sim
+        self.end_a = end_a
+        self.end_b = end_b
+        self.bandwidth_bps = bandwidth_bps
+        self.propagation_us = int(propagation_us)
+        self.queue_bytes = queue_bytes  # None = infinite buffering
+        end_a.link = self
+        end_b.link = self
+        # Per-direction time at which the transmitter becomes free again;
+        # keys are the *sending* interface.
+        self._next_free: dict[Interface, int] = {end_a: 0, end_b: 0}
+        self.frames_carried = 0
+        self.bytes_carried = 0
+        self.frames_dropped_queue = 0
+
+    # ------------------------------------------------------------------
+    def other_end(self, iface: Interface) -> Interface:
+        if iface is self.end_a:
+            return self.end_b
+        if iface is self.end_b:
+            return self.end_a
+        raise ValueError(f"{iface!r} is not an end of this link")
+
+    def serialization_us(self, frame: EthernetFrame) -> int:
+        """Line-rate serialization delay (padded frames occupy the wire)."""
+        bits = frame.padded_wire_size * 8
+        return max(1, (bits * SECOND) // self.bandwidth_bps)
+
+    # ------------------------------------------------------------------
+    def queue_backlog_bytes(self, sender: Interface) -> int:
+        """Bytes currently waiting to serialize in ``sender``'s direction."""
+        backlog_us = max(0, self._next_free[sender] - self.sim.now)
+        return (backlog_us * self.bandwidth_bps) // (8 * SECOND)
+
+    def transmit(self, sender: Interface, frame: EthernetFrame) -> bool:
+        """Queue ``frame`` from ``sender``; deliver after serialization +
+        propagation.  Back-to-back frames serialize sequentially, which is
+        what lets the traffic generator's "back-to-back packets" saturate
+        the line exactly as the paper's tool does.  A frame arriving to a
+        full egress queue is tail-dropped (returns False) — congestion
+        loss, distinct from the failure loss the paper measures."""
+        if (self.queue_bytes is not None
+                and self.queue_backlog_bytes(sender) + frame.padded_wire_size
+                > self.queue_bytes):
+            self.frames_dropped_queue += 1
+            sender.counters.tx_dropped_queue += 1
+            return False
+        receiver = self.other_end(sender)
+        start = max(self.sim.now, self._next_free[sender])
+        done = start + self.serialization_us(frame)
+        self._next_free[sender] = done
+        self.frames_carried += 1
+        self.bytes_carried += frame.wire_size
+        self.sim.schedule_at(done + self.propagation_us, receiver.deliver, frame)
+        return True
+
+    def __repr__(self) -> str:
+        return f"<Link {self.end_a.full_name} <-> {self.end_b.full_name}>"

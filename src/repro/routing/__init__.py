@@ -1,0 +1,8 @@
+"""IP routing substrate: longest-prefix-match tables with ECMP next-hop
+sets and deterministic 5-tuple hashing (the kernel-fib analogue under the
+BGP baseline)."""
+
+from repro.routing.table import NextHop, Route, RoutingTable
+from repro.routing.ecmp import ecmp_hash, FlowKey
+
+__all__ = ["NextHop", "Route", "RoutingTable", "ecmp_hash", "FlowKey"]

@@ -1,0 +1,42 @@
+"""Discrete-event simulation substrate.
+
+The FABRIC testbed substitute: a deterministic event engine with an
+integer-microsecond clock, restartable timers, seeded random streams and a
+structured trace log.  All protocol timing in this repository (hello
+timers, dead timers, hold timers, MRAI, link propagation) runs on this
+engine, which is what lets the paper's control-plane timing experiments be
+reproduced without testbed noise.
+"""
+
+from repro.sim.engine import Event, EventHandle, Simulator, SimulationError
+from repro.sim.timers import Timer, PeriodicTimer
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import TraceLog, TraceRecord
+from repro.sim.units import (
+    MICROSECOND,
+    MILLISECOND,
+    SECOND,
+    from_seconds,
+    to_seconds,
+    from_millis,
+    to_millis,
+)
+
+__all__ = [
+    "Event",
+    "EventHandle",
+    "Simulator",
+    "SimulationError",
+    "Timer",
+    "PeriodicTimer",
+    "RngRegistry",
+    "TraceLog",
+    "TraceRecord",
+    "MICROSECOND",
+    "MILLISECOND",
+    "SECOND",
+    "from_seconds",
+    "to_seconds",
+    "from_millis",
+    "to_millis",
+]

@@ -1,0 +1,132 @@
+"""Restartable timers built on the event engine.
+
+Protocol code (hold timers, dead timers, hello intervals, MRAI) uses these
+instead of raw events: a :class:`Timer` can be started, restarted ("kicked")
+and stopped; a :class:`PeriodicTimer` refires on a fixed interval with
+optional per-firing jitter (BFD-style 75-100% scaling).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.sim.engine import EventHandle, Simulator
+
+
+class Timer:
+    """A one-shot, restartable timer.
+
+    ``restart()`` is the idiom for dead/hold timers: every received
+    keepalive kicks the timer; if it ever fires, the neighbor is declared
+    down.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        interval: int,
+        callback: Callable[[], None],
+        name: str = "timer",
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"timer interval must be positive, got {interval}")
+        self.sim = sim
+        self.interval = int(interval)
+        self.callback = callback
+        self.name = name
+        self._handle: Optional[EventHandle] = None
+
+    @property
+    def running(self) -> bool:
+        return self._handle is not None and self._handle.active
+
+    @property
+    def expires_at(self) -> Optional[int]:
+        return self._handle.time if self.running else None
+
+    def start(self, interval: Optional[int] = None) -> None:
+        """(Re)start the timer; fires ``interval`` ticks from now."""
+        if interval is not None:
+            if interval <= 0:
+                raise ValueError("interval must be positive")
+            self.interval = int(interval)
+        self.stop()
+        self._handle = self.sim.schedule_after(self.interval, self._fire)
+
+    # restart is an alias that reads better at call sites that "kick" a
+    # dead timer on every received message.
+    restart = start
+
+    def stop(self) -> None:
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def _fire(self) -> None:
+        self._handle = None
+        self.callback()
+
+
+class PeriodicTimer:
+    """Fires ``callback`` every ``interval`` ticks until stopped.
+
+    ``jitter`` (0..1) scales each period uniformly in
+    ``[(1-jitter)*interval, interval]`` using the supplied RNG — the BFD
+    transmit-interval rule (RFC 5880 section 6.8.7 mandates 75-100%).
+    Deterministic when the RNG is seeded.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        interval: int,
+        callback: Callable[[], None],
+        name: str = "periodic",
+        jitter: float = 0.0,
+        rng=None,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"timer interval must be positive, got {interval}")
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {jitter}")
+        if jitter > 0.0 and rng is None:
+            raise ValueError("jitter requires an rng")
+        self.sim = sim
+        self.interval = int(interval)
+        self.callback = callback
+        self.name = name
+        self.jitter = jitter
+        self.rng = rng
+        self._handle: Optional[EventHandle] = None
+
+    @property
+    def running(self) -> bool:
+        return self._handle is not None and self._handle.active
+
+    def _next_period(self) -> int:
+        if self.jitter == 0.0:
+            return self.interval
+        lo = (1.0 - self.jitter) * self.interval
+        period = int(self.rng.uniform(lo, self.interval))
+        return max(1, period)
+
+    def start(self, immediate: bool = False) -> None:
+        self.stop()
+        delay = 0 if immediate else self._next_period()
+        self._handle = self.sim.schedule_after(delay, self._fire)
+
+    def stop(self) -> None:
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def set_interval(self, interval: int) -> None:
+        """Change the period; takes effect from the next scheduling."""
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.interval = int(interval)
+
+    def _fire(self) -> None:
+        # Reschedule before the callback so the callback may stop() us.
+        self._handle = self.sim.schedule_after(self._next_period(), self._fire)
+        self.callback()

@@ -1,0 +1,86 @@
+"""Structured trace log.
+
+The simulator-side equivalent of the paper's node log files: protocol code
+emits (time, node, category, message, data) records; the harness parses
+them to compute convergence times, blast radius etc., mirroring the
+paper's "automation scripts parsed the logs" methodology (section VI.B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Optional
+
+from repro.sim.engine import Simulator
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    time: int
+    node: str
+    category: str
+    message: str
+    data: dict = field(default_factory=dict)
+
+    def __str__(self) -> str:  # human-readable log line
+        extra = f" {self.data}" if self.data else ""
+        return f"[{self.time:>12d}us] {self.node:<8s} {self.category:<18s} {self.message}{extra}"
+
+
+class TraceLog:
+    """Append-only record store with category filtering and live listeners."""
+
+    def __init__(self, sim: Simulator, enabled: bool = True) -> None:
+        self.sim = sim
+        self.enabled = enabled
+        self.records: list[TraceRecord] = []
+        self._listeners: list[Callable[[TraceRecord], None]] = []
+
+    def emit(self, node: str, category: str, message: str, **data: Any) -> None:
+        if not self.enabled and not self._listeners:
+            return
+        record = TraceRecord(self.sim.now, node, category, message, data)
+        if self.enabled:
+            self.records.append(record)
+        for listener in self._listeners:
+            listener(record)
+
+    def add_listener(self, listener: Callable[[TraceRecord], None]) -> None:
+        self._listeners.append(listener)
+
+    def remove_listener(self, listener: Callable[[TraceRecord], None]) -> None:
+        self._listeners.remove(listener)
+
+    # ------------------------------------------------------------------
+    # queries (the "log parsing scripts")
+    # ------------------------------------------------------------------
+    def select(
+        self,
+        category: Optional[str] = None,
+        node: Optional[str] = None,
+        since: Optional[int] = None,
+        until: Optional[int] = None,
+    ) -> Iterator[TraceRecord]:
+        for rec in self.records:
+            if category is not None and rec.category != category:
+                continue
+            if node is not None and rec.node != node:
+                continue
+            if since is not None and rec.time < since:
+                continue
+            if until is not None and rec.time > until:
+                continue
+            yield rec
+
+    def last_time(self, category: str, since: Optional[int] = None) -> Optional[int]:
+        """Time of the last record in ``category`` (optionally after ``since``)."""
+        result = None
+        for rec in self.select(category=category, since=since):
+            result = rec.time
+        return result
+
+    def count(self, category: str, since: Optional[int] = None) -> int:
+        return sum(1 for _ in self.select(category=category, since=since))
+
+    def clear(self) -> None:
+        self.records.clear()

@@ -1,0 +1,32 @@
+"""Time units.
+
+Simulation time is an integer count of microseconds.  Integers keep event
+ordering exact (no float accumulation error) and match the paper's stated
+"microsecond accuracy" clock synchronisation on FABRIC (section VI.A).
+"""
+
+from __future__ import annotations
+
+MICROSECOND: int = 1
+MILLISECOND: int = 1_000
+SECOND: int = 1_000_000
+
+
+def from_seconds(seconds: float) -> int:
+    """Convert seconds to integer simulation ticks (microseconds)."""
+    return round(seconds * SECOND)
+
+
+def to_seconds(ticks: int) -> float:
+    """Convert simulation ticks to float seconds."""
+    return ticks / SECOND
+
+
+def from_millis(millis: float) -> int:
+    """Convert milliseconds to integer simulation ticks."""
+    return round(millis * MILLISECOND)
+
+
+def to_millis(ticks: int) -> float:
+    """Convert simulation ticks to float milliseconds."""
+    return ticks / MILLISECOND

@@ -1,0 +1,63 @@
+"""Wire-format substrate: addresses, frames and packets.
+
+Classes here model the packets that cross simulated links, with
+*byte-accurate* layer sizes so that the paper's overhead figures (66-byte
+BFD packets, 85-byte BGP keepalives, 15-byte MR-MTP hellos at layer 2)
+fall out of simple accounting:
+
+===========================  =====
+header                       bytes
+===========================  =====
+Ethernet (no FCS/preamble)     14
+IPv4 (no options)              20
+UDP                             8
+TCP (with timestamp option)   32
+===========================  =====
+"""
+
+from repro.stack.addresses import MacAddress, Ipv4Address, Ipv4Network, BROADCAST_MAC
+from repro.stack.ethernet import (
+    EthernetFrame,
+    ETHERTYPE_IPV4,
+    ETHERTYPE_ARP,
+    ETHERTYPE_MTP,
+    ETHERNET_HEADER_BYTES,
+    ETHERNET_MIN_FRAME_BYTES,
+)
+from repro.stack.ipv4 import (
+    Ipv4Packet,
+    IPV4_HEADER_BYTES,
+    PROTO_ICMP,
+    PROTO_TCP,
+    PROTO_UDP,
+)
+from repro.stack.udp import UdpDatagram, UDP_HEADER_BYTES
+from repro.stack.tcp_segment import TcpSegment, TCP_HEADER_BYTES
+from repro.stack.arp import ArpMessage, ARP_WIRE_BYTES
+from repro.stack.payload import Payload, RawBytes
+
+__all__ = [
+    "MacAddress",
+    "Ipv4Address",
+    "Ipv4Network",
+    "BROADCAST_MAC",
+    "EthernetFrame",
+    "ETHERTYPE_IPV4",
+    "ETHERTYPE_ARP",
+    "ETHERTYPE_MTP",
+    "ETHERNET_HEADER_BYTES",
+    "ETHERNET_MIN_FRAME_BYTES",
+    "Ipv4Packet",
+    "IPV4_HEADER_BYTES",
+    "PROTO_ICMP",
+    "PROTO_TCP",
+    "PROTO_UDP",
+    "UdpDatagram",
+    "UDP_HEADER_BYTES",
+    "TcpSegment",
+    "TCP_HEADER_BYTES",
+    "ArpMessage",
+    "ARP_WIRE_BYTES",
+    "Payload",
+    "RawBytes",
+]

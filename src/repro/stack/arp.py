@@ -1,0 +1,40 @@
+"""ARP.
+
+IP next-hops on the BGP data path resolve MACs with classic ARP
+request/reply; the paper notes MR-MTP avoids the protocol entirely by
+addressing frames to ff:ff:ff:ff:ff:ff on point-to-point links.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from repro.stack.addresses import Ipv4Address, MacAddress
+
+# 28-byte ARP body for IPv4-over-Ethernet.
+ARP_WIRE_BYTES = 28
+
+
+class ArpOp(Enum):
+    REQUEST = 1
+    REPLY = 2
+
+
+@dataclass(frozen=True)
+class ArpMessage:
+    op: ArpOp
+    sender_mac: MacAddress
+    sender_ip: Ipv4Address
+    target_ip: Ipv4Address
+    target_mac: Optional[MacAddress] = None  # filled in replies
+
+    @property
+    def wire_size(self) -> int:
+        return ARP_WIRE_BYTES
+
+    def __str__(self) -> str:
+        if self.op is ArpOp.REQUEST:
+            return f"ARP[who-has {self.target_ip} tell {self.sender_ip}]"
+        return f"ARP[{self.sender_ip} is-at {self.sender_mac}]"

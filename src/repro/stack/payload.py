@@ -1,0 +1,36 @@
+"""Payload protocol.
+
+Every packet body (IPv4 packet inside an Ethernet frame, BGP message
+inside a TCP stream, MR-MTP message inside a frame...) implements
+``wire_size`` so layer sizes compose by simple addition — the accounting
+the paper performs on Wireshark captures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+
+@runtime_checkable
+class Payload(Protocol):
+    """Anything with a layer-2-countable size in bytes."""
+
+    @property
+    def wire_size(self) -> int: ...
+
+
+@dataclass(frozen=True)
+class RawBytes:
+    """Opaque payload of a given size (test traffic, padding)."""
+
+    size: int
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ValueError(f"negative payload size {self.size}")
+
+    @property
+    def wire_size(self) -> int:
+        return self.size

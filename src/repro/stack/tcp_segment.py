@@ -1,0 +1,80 @@
+"""TCP segments.
+
+The 32-byte header matches what a Linux/FRR BGP session puts on the wire
+(20-byte base header + 12 bytes of timestamp options on every established-
+state segment) — this is what makes the paper's 85-byte BGP keepalive
+arithmetic work: 14 (Eth) + 20 (IP) + 32 (TCP) + 19 (BGP) = 85.
+SYN segments carry more options (MSS, window scale, SACK-permitted,
+timestamps) and are sized separately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Flag, auto
+
+from repro.stack.payload import Payload, RawBytes
+
+TCP_HEADER_BYTES = 32        # base 20 + timestamp option 12 (padded)
+TCP_SYN_HEADER_BYTES = 40    # base 20 + MSS/WS/SACK/TS options
+
+
+class TcpFlags(Flag):
+    NONE = 0
+    SYN = auto()
+    ACK = auto()
+    FIN = auto()
+    RST = auto()
+    PSH = auto()
+
+
+@dataclass(frozen=True)
+class TcpSegment:
+    src_port: int
+    dst_port: int
+    seq: int
+    ack: int
+    flags: TcpFlags
+    payload: Payload = RawBytes(0)
+    window: int = 65535
+
+    def __post_init__(self) -> None:
+        for port in (self.src_port, self.dst_port):
+            if not 0 <= port <= 0xFFFF:
+                raise ValueError(f"bad TCP port {port}")
+        if self.seq < 0 or self.ack < 0:
+            raise ValueError("negative sequence numbers")
+
+    @property
+    def header_size(self) -> int:
+        return (
+            TCP_SYN_HEADER_BYTES
+            if TcpFlags.SYN in self.flags
+            else TCP_HEADER_BYTES
+        )
+
+    @property
+    def wire_size(self) -> int:
+        return self.header_size + self.payload.wire_size
+
+    @property
+    def data_len(self) -> int:
+        return self.payload.wire_size
+
+    @property
+    def seq_space(self) -> int:
+        """Sequence-space consumed: data bytes plus 1 for SYN and FIN."""
+        length = self.data_len
+        if TcpFlags.SYN in self.flags:
+            length += 1
+        if TcpFlags.FIN in self.flags:
+            length += 1
+        return length
+
+    def __str__(self) -> str:
+        names = [f.name for f in TcpFlags if f is not TcpFlags.NONE and f in self.flags]
+        return (
+            f"TCP[{self.src_port} -> {self.dst_port} "
+            f"{'|'.join(names) or '-'} seq={self.seq} ack={self.ack} "
+            f"len={self.data_len}]"
+        )

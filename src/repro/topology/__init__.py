@@ -1,0 +1,28 @@
+"""Folded-Clos topology construction.
+
+Builds the paper's 2-PoD and 4-PoD 3-tier test topologies (and larger /
+deeper ones for the scalability extension), with the paper's addressing
+plan: rack subnets 192.168.<VID>.0/24 shared between each ToR and its
+servers, and /31 point-to-point subnets from 172.16.0.0/16 on fabric
+links.
+"""
+
+from repro.topology.clos import (
+    ClosParams,
+    ClosTopology,
+    FailureCase,
+    build_folded_clos,
+    two_pod_params,
+    four_pod_params,
+)
+from repro.topology.validate import validate_topology
+
+__all__ = [
+    "ClosParams",
+    "ClosTopology",
+    "FailureCase",
+    "build_folded_clos",
+    "two_pod_params",
+    "four_pod_params",
+    "validate_topology",
+]

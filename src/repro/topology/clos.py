@@ -1,0 +1,369 @@
+"""Folded-Clos builder.
+
+Topology model (matching the paper's Figs. 2-3):
+
+* tier 1: ToRs (leaves) ``L-<pod>-<t>``, one rack subnet each;
+* tier 2: pod spines (aggregations) ``S-<pod>-<a>``;
+* tier 3: top spines ``T-<n>``, arranged in *planes*: plane *a* holds the
+  tops reachable from aggregation *a* of every pod (the paper's
+  S1_1 -> {S2_1, S2_3} / S1_2 -> {S2_2, S2_4} wiring);
+* optional tier 4 (scalability extension, paper section IX): multiple
+  *zones* each with their own top layer, stitched by super-spines
+  ``U-<g>-<k>``: the top at position *g* of every zone connects to all
+  super-spines in group *g*.
+
+Port-number discipline matters to MR-MTP (child VIDs append the parent's
+port number), so interfaces are created in a fixed order: downstream
+ports first, then upstream ports, then (on ToRs) the rack port — giving
+the rack port the highest number, as in the paper's Listing 2 where it is
+configured explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.net.link import DEFAULT_BANDWIDTH_BPS, DEFAULT_PROPAGATION_US
+from repro.net.node import Node
+from repro.net.world import World
+from repro.stack.addresses import Ipv4Address, Ipv4Network
+
+TIER_SERVER = 0
+TIER_TOR = 1
+TIER_AGG = 2
+TIER_TOP = 3
+TIER_SUPER = 4
+
+FIRST_TOR_VID = 11  # first rack subnet is 192.168.11.0/24, as in Fig. 2
+
+
+@dataclass(frozen=True)
+class ClosParams:
+    """Shape of a folded-Clos fabric."""
+
+    num_pods: int = 2
+    tors_per_pod: int = 2
+    aggs_per_pod: int = 2
+    tops_per_plane: int = 2
+    servers_per_rack: int = 1
+    zones: int = 1                 # >1 adds the tier-4 super-spine layer
+    supers_per_group: int = 2      # width of each super-spine group
+    bandwidth_bps: int = DEFAULT_BANDWIDTH_BPS
+    propagation_us: int = DEFAULT_PROPAGATION_US
+
+    def __post_init__(self) -> None:
+        for name in ("num_pods", "tors_per_pod", "aggs_per_pod",
+                     "tops_per_plane", "zones", "supers_per_group"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1")
+        if self.servers_per_rack < 0:
+            raise ValueError("servers_per_rack must be >= 0")
+
+    @property
+    def num_planes(self) -> int:
+        return self.aggs_per_pod
+
+    @property
+    def num_tiers(self) -> int:
+        return 4 if self.zones > 1 else 3
+
+    @property
+    def routers_per_zone(self) -> int:
+        return (
+            self.num_pods * (self.tors_per_pod + self.aggs_per_pod)
+            + self.num_planes * self.tops_per_plane
+        )
+
+    @property
+    def num_routers(self) -> int:
+        supers = 0
+        if self.zones > 1:
+            supers = self.num_planes * self.tops_per_plane * self.supers_per_group
+        return self.zones * self.routers_per_zone + supers
+
+
+def two_pod_params(**overrides) -> ClosParams:
+    """The paper's 2-PoD topology: 4 ToR + 4 agg + 4 top = 12 routers."""
+    return ClosParams(num_pods=2, **overrides)
+
+
+def four_pod_params(**overrides) -> ClosParams:
+    """The paper's 4-PoD topology: 8 ToR + 8 agg + 4 top = 20 routers."""
+    return ClosParams(num_pods=4, **overrides)
+
+
+@dataclass(frozen=True)
+class FailureCase:
+    """One of the paper's interface-failure test points.
+
+    ``node`` is the device whose interface is administratively downed (it
+    detects instantly); the peer must rely on protocol timers.
+    """
+
+    name: str
+    node: str
+    interface: str
+    peer_node: str
+    description: str
+
+
+class ClosTopology:
+    """A built fabric: nodes, links, addressing and failure points."""
+
+    def __init__(self, world: World, params: ClosParams) -> None:
+        self.world = world
+        self.params = params
+        # zone -> pod -> list of node names
+        self.tors: list[list[list[str]]] = []
+        self.aggs: list[list[list[str]]] = []
+        # zone -> plane -> list of top names
+        self.tops: list[list[list[str]]] = []
+        # group -> list of super-spine names
+        self.supers: list[list[str]] = []
+        self.servers: dict[str, list[str]] = {}       # tor -> hosts
+        self.rack_subnet: dict[str, Ipv4Network] = {} # tor -> 192.168.V.0/24
+        self.rack_port: dict[str, str] = {}           # tor -> iface name
+        self.tor_vid_seed: dict[str, int] = {}        # tor -> third byte V
+        self.server_gateway: dict[str, Ipv4Address] = {}  # host -> ToR-side addr
+
+    # ------------------------------------------------------------------
+    def node(self, name: str) -> Node:
+        return self.world.node(name)
+
+    def all_tors(self) -> list[str]:
+        return [t for zone in self.tors for pod in zone for t in pod]
+
+    def all_aggs(self) -> list[str]:
+        return [a for zone in self.aggs for pod in zone for a in pod]
+
+    def all_tops(self) -> list[str]:
+        return [t for zone in self.tops for plane in zone for t in plane]
+
+    def all_supers(self) -> list[str]:
+        return [s for group in self.supers for s in group]
+
+    def routers(self) -> list[str]:
+        return self.all_tors() + self.all_aggs() + self.all_tops() + self.all_supers()
+
+    def all_servers(self) -> list[str]:
+        return [h for hosts in self.servers.values() for h in hosts]
+
+    def first_server_of(self, tor: str) -> str:
+        return self.servers[tor][0]
+
+    def server_address(self, host: str) -> Ipv4Address:
+        node = self.node(host)
+        for iface in node.interfaces.values():
+            if iface.address is not None:
+                return iface.address
+        raise ValueError(f"{host} has no address")
+
+    # ------------------------------------------------------------------
+    # the paper's four failure test cases (TC1-TC4, Fig. 3)
+    # ------------------------------------------------------------------
+    def failure_cases(self) -> dict[str, FailureCase]:
+        """TC1..TC4 on the canonical first-PoD devices.
+
+        TC1: ToR's uplink to its first agg fails at the ToR side.
+        TC2: the same link fails at the agg side.
+        TC3: the agg's uplink to its first top fails at the agg side.
+        TC4: the same link fails at the top side.
+        """
+        tor = self.tors[0][0][0]
+        agg = self.aggs[0][0][0]
+        top = self.tops[0][0][0]
+        return {
+            "TC1": FailureCase("TC1", tor, self._iface_between(tor, agg), agg,
+                               "ToR uplink fails at ToR side"),
+            "TC2": FailureCase("TC2", agg, self._iface_between(agg, tor), tor,
+                               "ToR-agg link fails at agg side"),
+            "TC3": FailureCase("TC3", agg, self._iface_between(agg, top), top,
+                               "agg uplink fails at agg side"),
+            "TC4": FailureCase("TC4", top, self._iface_between(top, agg), agg,
+                               "agg-top link fails at top side"),
+        }
+
+    def _iface_between(self, node_name: str, peer_name: str) -> str:
+        node = self.node(node_name)
+        for iface in node.interfaces.values():
+            peer = iface.peer()
+            if peer is not None and peer.node.name == peer_name:
+                return iface.name
+        raise ValueError(f"no link between {node_name} and {peer_name}")
+
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        p = self.params
+        lines = [
+            f"folded-Clos: {p.zones} zone(s) x {p.num_pods} PoD(s), "
+            f"{p.tors_per_pod} ToR + {p.aggs_per_pod} agg per PoD, "
+            f"{p.num_planes} plane(s) x {p.tops_per_plane} top(s)"
+            + (f", {p.supers_per_group}-wide super groups" if p.zones > 1 else ""),
+            f"routers: {len(self.routers())}, servers: {len(self.all_servers())}, "
+            f"links: {len(self.world.links)}",
+        ]
+        return "\n".join(lines)
+
+
+class _AddressAllocator:
+    """Sequential /31 allocation for fabric p2p links from 172.16.0.0/16."""
+
+    def __init__(self) -> None:
+        self._next = 0
+        self._base = Ipv4Address.parse("172.16.0.0").value
+
+    def next_pair(self) -> tuple[Ipv4Address, Ipv4Address]:
+        base = self._base + 2 * self._next
+        self._next += 1
+        if base + 1 >= Ipv4Address.parse("172.17.0.0").value:
+            raise ValueError("fabric address pool exhausted (172.16/16)")
+        return Ipv4Address(base), Ipv4Address(base + 1)
+
+
+def build_folded_clos(
+    params: Optional[ClosParams] = None,
+    world: Optional[World] = None,
+    seed: int = 0,
+) -> ClosTopology:
+    """Construct the fabric: nodes, cabling, addressing, servers."""
+    if params is None:
+        params = ClosParams()
+    if world is None:
+        world = World(seed=seed)
+    topo = ClosTopology(world, params)
+    alloc = _AddressAllocator()
+
+    def zone_tag(z: int) -> str:
+        return f"Z{z + 1}-" if params.zones > 1 else ""
+
+    # --- create routers ------------------------------------------------
+    vid_seed = FIRST_TOR_VID
+    for z in range(params.zones):
+        zone_tors: list[list[str]] = []
+        zone_aggs: list[list[str]] = []
+        for p in range(params.num_pods):
+            pod_tors, pod_aggs = [], []
+            for t in range(params.tors_per_pod):
+                name = f"{zone_tag(z)}L-{p + 1}-{t + 1}"
+                world.add_node(name, tier=TIER_TOR)
+                pod_tors.append(name)
+                topo.tor_vid_seed[name] = vid_seed
+                topo.rack_subnet[name] = Ipv4Network.parse(
+                    f"192.168.{vid_seed % 256}.0/24"
+                ) if vid_seed < 256 else _wide_rack_subnet(vid_seed)
+                vid_seed += 1
+            for a in range(params.aggs_per_pod):
+                name = f"{zone_tag(z)}S-{p + 1}-{a + 1}"
+                world.add_node(name, tier=TIER_AGG)
+                pod_aggs.append(name)
+            zone_tors.append(pod_tors)
+            zone_aggs.append(pod_aggs)
+        topo.tors.append(zone_tors)
+        topo.aggs.append(zone_aggs)
+
+        zone_tops: list[list[str]] = []
+        top_index = 1
+        for plane in range(params.num_planes):
+            plane_tops = []
+            for k in range(params.tops_per_plane):
+                name = f"{zone_tag(z)}T-{top_index}"
+                top_index += 1
+                world.add_node(name, tier=TIER_TOP)
+                plane_tops.append(name)
+            zone_tops.append(plane_tops)
+        topo.tops.append(zone_tops)
+
+    if params.zones > 1:
+        for plane in range(params.num_planes):
+            for k in range(params.tops_per_plane):
+                group = []
+                for s in range(params.supers_per_group):
+                    name = f"U-{plane + 1}-{k + 1}-{s + 1}"
+                    world.add_node(name, tier=TIER_SUPER)
+                    group.append(name)
+                topo.supers.append(group)
+
+    # --- cabling (downstream interfaces created before upstream) -------
+    def cable(lower: str, upper: str) -> None:
+        """Cable lower-tier node up to upper-tier node, with addresses.
+
+        The upper node's (downstream) interface is created first in its
+        own ordering because uppers are wired pod-by-pod below.
+        """
+        a, b = alloc.next_pair()
+        low_if = world.node(lower).add_interface()
+        up_if = world.node(upper).add_interface()
+        world.cable(low_if, up_if, params.bandwidth_bps, params.propagation_us)
+        low_if.assign_address(a, 31)
+        up_if.assign_address(b, 31)
+
+    for z in range(params.zones):
+        # agg downstream ports to ToRs (created first on aggs),
+        # then ToR upstream ports... ToRs need their uplink ports created
+        # in agg order; iterate ToR-major so each ToR's uplinks are
+        # eth1..ethA, then aggs gain downlinks in ToR order.
+        for p in range(params.num_pods):
+            for t_name in topo.tors[z][p]:
+                for a_name in topo.aggs[z][p]:
+                    cable(t_name, a_name)
+        # agg uplinks to their plane's tops
+        for p in range(params.num_pods):
+            for a_idx, a_name in enumerate(topo.aggs[z][p]):
+                for top_name in topo.tops[z][a_idx]:
+                    cable(a_name, top_name)
+
+    if params.zones > 1:
+        group_idx = 0
+        for plane in range(params.num_planes):
+            for k in range(params.tops_per_plane):
+                group = topo.supers[group_idx]
+                group_idx += 1
+                for z in range(params.zones):
+                    top_name = topo.tops[z][plane][k]
+                    for super_name in group:
+                        cable(top_name, super_name)
+
+    # --- rack ports and servers (highest-numbered ToR ports) -----------
+    # Each server hangs off its own ToR port; the ToR-side interface of
+    # server s carries gateway address .254-s in the shared rack subnet
+    # (a routed-rack design, host /32s beyond the first server).  The
+    # first rack-facing port is the one named in the paper's
+    # leavesNetworkPortDict — the interface MR-MTP reads its VID from.
+    for tor_name in topo.all_tors():
+        tor = world.node(tor_name)
+        subnet = topo.rack_subnet[tor_name]
+        subnet_size = 1 << (32 - subnet.prefix_len)
+        hosts = []
+        if params.servers_per_rack == 0:
+            # keep an addressed (uncabled) rack port so VID derivation
+            # still works on fabrics built without servers
+            rack_if = tor.add_interface()
+            rack_if.assign_address(subnet.host(subnet_size - 2), subnet.prefix_len)
+            topo.rack_port[tor_name] = rack_if.name
+        for s in range(params.servers_per_rack):
+            host_name = f"H-{tor_name}-{s + 1}"
+            host = world.add_node(host_name, tier=TIER_SERVER)
+            host_if = host.add_interface()
+            tor_if = tor.add_interface()
+            world.cable(host_if, tor_if,
+                        params.bandwidth_bps, params.propagation_us)
+            host_if.assign_address(subnet.host(s + 1), subnet.prefix_len)
+            tor_if.assign_address(subnet.host(subnet_size - 2 - s),
+                                  subnet.prefix_len)
+            if s == 0:
+                topo.rack_port[tor_name] = tor_if.name
+            topo.server_gateway[host_name] = tor_if.address
+            hosts.append(host_name)
+        topo.servers[tor_name] = hosts
+
+    return topo
+
+
+def _wide_rack_subnet(vid_seed: int) -> Ipv4Network:
+    """Rack subnets beyond 192.168.255/24 roll into 192.<169+>.x/24 so very
+    large fabrics still get unique rack prefixes."""
+    major = 169 + (vid_seed // 256)
+    if major > 255:
+        raise ValueError("rack subnet pool exhausted")
+    return Ipv4Network.parse(f"192.{major}.{vid_seed % 256}.0/24")

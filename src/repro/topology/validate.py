@@ -1,0 +1,131 @@
+"""Topology validation.
+
+The simulator-side analogue of the paper's "scripts to verify the topology
+and router configuration": structural checks that the built fabric really
+is the intended folded-Clos before any protocol runs on it.
+"""
+
+from __future__ import annotations
+
+from repro.topology.clos import (
+    ClosTopology,
+    TIER_AGG,
+    TIER_SERVER,
+    TIER_SUPER,
+    TIER_TOP,
+    TIER_TOR,
+)
+
+
+class TopologyError(AssertionError):
+    """A structural invariant of the folded-Clos is violated."""
+
+
+def _neighbors_by_tier(topo: ClosTopology, name: str) -> dict[int, set[str]]:
+    node = topo.node(name)
+    result: dict[int, set[str]] = {}
+    for iface in node.interfaces.values():
+        peer = iface.peer()
+        if peer is None:
+            continue
+        result.setdefault(peer.node.tier, set()).add(peer.node.name)
+    return result
+
+
+def validate_topology(topo: ClosTopology) -> None:
+    """Raise :class:`TopologyError` on any structural violation."""
+    p = topo.params
+
+    # counts
+    expected_routers = p.num_routers
+    if len(topo.routers()) != expected_routers:
+        raise TopologyError(
+            f"expected {expected_routers} routers, built {len(topo.routers())}"
+        )
+
+    # ToRs: uplinks to every agg in their pod, plus rack ports
+    for z in range(p.zones):
+        for pod in range(p.num_pods):
+            pod_aggs = set(topo.aggs[z][pod])
+            for tor in topo.tors[z][pod]:
+                up = _neighbors_by_tier(topo, tor).get(TIER_AGG, set())
+                if up != pod_aggs:
+                    raise TopologyError(
+                        f"{tor} uplinks {sorted(up)} != pod aggs {sorted(pod_aggs)}"
+                    )
+                servers = _neighbors_by_tier(topo, tor).get(TIER_SERVER, set())
+                if len(servers) != p.servers_per_rack:
+                    raise TopologyError(
+                        f"{tor} has {len(servers)} servers, expected "
+                        f"{p.servers_per_rack}"
+                    )
+
+    # aggs: down to every ToR in pod, up to every top in their plane
+    for z in range(p.zones):
+        for pod in range(p.num_pods):
+            pod_tors = set(topo.tors[z][pod])
+            for a_idx, agg in enumerate(topo.aggs[z][pod]):
+                nbrs = _neighbors_by_tier(topo, agg)
+                if nbrs.get(TIER_TOR, set()) != pod_tors:
+                    raise TopologyError(f"{agg} downlinks wrong")
+                plane_tops = set(topo.tops[z][a_idx])
+                if nbrs.get(TIER_TOP, set()) != plane_tops:
+                    raise TopologyError(
+                        f"{agg} uplinks {nbrs.get(TIER_TOP)} != plane "
+                        f"{sorted(plane_tops)}"
+                    )
+
+    # tops: one agg (the plane's) per pod in their zone
+    for z in range(p.zones):
+        for plane in range(p.num_planes):
+            plane_aggs = {topo.aggs[z][pod][plane] for pod in range(p.num_pods)}
+            for top in topo.tops[z][plane]:
+                nbrs = _neighbors_by_tier(topo, top)
+                if nbrs.get(TIER_AGG, set()) != plane_aggs:
+                    raise TopologyError(
+                        f"{top} downlinks {nbrs.get(TIER_AGG)} != {plane_aggs}"
+                    )
+                supers = nbrs.get(TIER_SUPER, set())
+                expected_supers = p.supers_per_group if p.zones > 1 else 0
+                if len(supers) != expected_supers:
+                    raise TopologyError(
+                        f"{top} has {len(supers)} super uplinks, expected "
+                        f"{expected_supers}"
+                    )
+
+    # super-spines: their group's top position in every zone
+    group_idx = 0
+    for plane in range(p.num_planes):
+        for k in range(p.tops_per_plane):
+            if p.zones <= 1:
+                break
+            group = topo.supers[group_idx]
+            group_idx += 1
+            expected_tops = {topo.tops[z][plane][k] for z in range(p.zones)}
+            for sup in group:
+                nbrs = _neighbors_by_tier(topo, sup)
+                if nbrs.get(TIER_TOP, set()) != expected_tops:
+                    raise TopologyError(f"{sup} downlinks wrong")
+
+    # addressing: all fabric interfaces addressed, /31 pairs match
+    for link in topo.world.links:
+        a, b = link.end_a, link.end_b
+        if a.node.tier == TIER_SERVER or b.node.tier == TIER_SERVER:
+            continue
+        if a.address is None or b.address is None:
+            raise TopologyError(f"unaddressed fabric link {link!r}")
+        if a.network != b.network:
+            raise TopologyError(
+                f"link {link!r} endpoints in different subnets "
+                f"{a.network} vs {b.network}"
+            )
+
+    # rack subnets unique
+    subnets = list(topo.rack_subnet.values())
+    if len(set(subnets)) != len(subnets):
+        raise TopologyError("duplicate rack subnets")
+
+    # rack port recorded for every ToR
+    for tor in topo.all_tors():
+        if tor not in topo.rack_port:
+            raise TopologyError(f"{tor} missing rack port")

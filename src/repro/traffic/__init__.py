@@ -1,0 +1,16 @@
+"""Traffic generation and analysis.
+
+Reimplements the paper's custom tool [28]: a sender emitting back-to-back
+sequence-numbered packets between two servers, and a receiver-side
+analyzer counting received, lost, duplicated and out-of-sequence packets
+— the packet-loss instrument of sections V.C and VI.D.
+"""
+
+from repro.traffic.generator import (
+    SeqPayload,
+    TrafficSender,
+    ReceiverAnalyzer,
+    TrafficReport,
+)
+
+__all__ = ["SeqPayload", "TrafficSender", "ReceiverAnalyzer", "TrafficReport"]

@@ -1,0 +1,30 @@
+"""Wire serialization and pcap export.
+
+Turns simulated frames into the real octets they model — Ethernet, ARP,
+IPv4 (with header checksums), UDP/TCP (with pseudo-header checksums),
+BFD, BGP (via :mod:`repro.bgp.encoding`) and MR-MTP — and writes classic
+``.pcap`` files, so a simulated capture opens in Wireshark exactly like
+the paper's Figs. 9/10 captures do (MR-MTP frames show as ethertype
+0x8850 raw data, starting with the famous ``06`` keepalive byte).
+"""
+
+from repro.wire.codec import (
+    encode_frame,
+    decode_frame,
+    encode_mtp_message,
+    decode_mtp_message,
+    encode_bfd,
+    decode_bfd,
+)
+from repro.wire.pcap import PcapWriter, write_capture
+
+__all__ = [
+    "encode_frame",
+    "decode_frame",
+    "encode_mtp_message",
+    "decode_mtp_message",
+    "encode_bfd",
+    "decode_bfd",
+    "PcapWriter",
+    "write_capture",
+]

@@ -1,0 +1,134 @@
+"""BFD session behaviour: bring-up, detection speed, packet sizes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bfd.messages import BfdControlPacket, BfdState, BFD_PORT
+from repro.bfd.session import BfdManager, BfdTimers
+from repro.iputil.udp_service import UdpService
+from repro.net.capture import Capture
+from repro.sim.units import MILLISECOND, SECOND
+from repro.stack.addresses import Ipv4Address
+from repro.stack.ipv4 import Ipv4Packet
+from repro.stack.udp import UdpDatagram
+
+from tests.conftest import make_ip_pair
+
+
+def ip(text):
+    return Ipv4Address.parse(text)
+
+
+def bfd_pair(world, timers=BfdTimers()):
+    a, b, sa, sb = make_ip_pair(world)
+    ua, ub = UdpService(sa), UdpService(sb)
+    events = []
+
+    def listener(tag):
+        return lambda session, is_up: events.append(
+            (world.sim.now, tag, "up" if is_up else "down")
+        )
+
+    ma = BfdManager(ua, rng=world.rng.stream("bfd-a"))
+    mb = BfdManager(ub, rng=world.rng.stream("bfd-b"))
+    sess_a = ma.create_session(ip("10.0.0.2"), ip("10.0.0.1"), timers, listener("a"))
+    sess_b = mb.create_session(ip("10.0.0.1"), ip("10.0.0.2"), timers, listener("b"))
+    return a, b, sess_a, sess_b, events
+
+
+def test_sessions_come_up(world):
+    a, b, sa, sb, events = bfd_pair(world)
+    world.run(until=5 * SECOND)
+    assert sa.up and sb.up
+    ups = [e for e in events if e[2] == "up"]
+    assert {e[1] for e in ups} == {"a", "b"}
+
+
+def test_detection_after_interface_failure(world):
+    """With 100 ms tx / mult 3, the surviving side must notice within
+    ~300 ms of the last received hello — the paper's BFD configuration."""
+    a, b, sa, sb, events = bfd_pair(world)
+    world.run(until=5 * SECOND)
+    assert sa.up and sb.up
+    fail_at = world.sim.now
+    b.interfaces["eth1"].set_admin(False)  # b goes dark
+    world.run(until=fail_at + 2 * SECOND)
+    downs = [e for e in events if e[2] == "down" and e[1] == "a"]
+    assert downs, "a never detected the failure"
+    detect_latency = downs[0][0] - fail_at
+    assert detect_latency <= 300 * MILLISECOND + 20 * MILLISECOND
+    assert not sa.up
+
+
+def test_detection_scales_with_timers(world):
+    fast = BfdTimers(tx_interval_us=50 * MILLISECOND, detect_mult=3)
+    a, b, sa, sb, events = bfd_pair(world, fast)
+    world.run(until=5 * SECOND)
+    fail_at = world.sim.now
+    b.interfaces["eth1"].set_admin(False)
+    world.run(until=fail_at + SECOND)
+    downs = [e for e in events if e[2] == "down" and e[1] == "a"]
+    assert downs and downs[0][0] - fail_at <= 150 * MILLISECOND + 10 * MILLISECOND
+
+
+def test_control_packets_are_66_bytes(world):
+    def is_bfd(frame):
+        pkt = frame.payload
+        return (isinstance(pkt, Ipv4Packet) and isinstance(pkt.payload, UdpDatagram)
+                and pkt.payload.dst_port == BFD_PORT)
+
+    cap = Capture(frame_filter=is_bfd)
+    a, b, sa, sb, events = bfd_pair(world)
+    cap.attach(a.interfaces.values())
+    world.run(until=2 * SECOND)
+    tx = [r for r in cap.records if r.direction.value == "tx"]
+    assert tx
+    assert all(r.wire_size == 66 for r in tx)  # paper Fig. 9
+
+
+def test_up_rate_is_faster_than_down_rate(world):
+    """Sessions transmit at 1/s while down, 10/s (100 ms) once up."""
+    a, b, sa, sb, events = bfd_pair(world)
+    world.run(until=4 * SECOND)
+    sent_while_coming_up = sa.packets_sent
+    world.run(until=8 * SECOND)
+    later = sa.packets_sent - sent_while_coming_up
+    assert later >= 4 * 8  # ~10/s for 4 s, with jitter margin
+
+
+def test_peer_signalled_down_propagates_fast(world):
+    """When one side's BFD goes AdminDown/Down, its Down packets drop the
+    peer immediately (no wait for full detection time)."""
+    a, b, sa, sb, events = bfd_pair(world)
+    world.run(until=5 * SECOND)
+    t0 = world.sim.now
+    sb.admin_reset()  # b restarts: sends state=Down packets
+    world.run(until=t0 + SECOND)
+    downs = [e for e in events if e[2] == "down" and e[1] == "a" and e[0] >= t0]
+    assert downs, "peer-signalled down not seen"
+
+
+def test_session_recovers_after_interface_restored(world):
+    a, b, sa, sb, events = bfd_pair(world)
+    world.run(until=5 * SECOND)
+    b.interfaces["eth1"].set_admin(False)
+    world.run_for(SECOND)
+    b.interfaces["eth1"].set_admin(True)
+    sa.admin_reset()
+    sb.admin_reset()
+    world.run_for(5 * SECOND)
+    assert sa.up and sb.up
+
+
+def test_duplicate_session_rejected(world):
+    a, b, sa, sb, events = bfd_pair(world)
+    with pytest.raises(ValueError):
+        a.bfd.create_session(ip("10.0.0.2"), ip("10.0.0.1"))
+
+
+def test_discriminator_validation():
+    with pytest.raises(ValueError):
+        BfdControlPacket(BfdState.DOWN, 3, 0, 0, 1, 1)
+    with pytest.raises(ValueError):
+        BfdControlPacket(BfdState.DOWN, 0, 1, 0, 1, 1)

@@ -1,0 +1,73 @@
+"""MR-MTP configuration (the Listing 2 JSON) and timer validation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.config import MtpGlobalConfig, MtpNodeConfig, MtpTimers
+from repro.topology.clos import build_folded_clos, four_pod_params, two_pod_params
+
+
+class TestTimers:
+    def test_defaults_match_paper(self):
+        t = MtpTimers()
+        assert t.hello_us == 50_000
+        assert t.dead_us == 100_000
+        assert t.accept_hellos == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MtpTimers(hello_us=0)
+        with pytest.raises(ValueError):
+            MtpTimers(hello_us=100_000, dead_us=50_000)
+        with pytest.raises(ValueError):
+            MtpTimers(accept_hellos=0)
+        with pytest.raises(ValueError):
+            MtpTimers(jitter=1.5)
+
+
+class TestNodeConfig:
+    def test_tor_requires_rack_interface(self):
+        with pytest.raises(ValueError):
+            MtpNodeConfig("L-1-1", tier=1)
+        cfg = MtpNodeConfig("L-1-1", tier=1, rack_interface="eth3")
+        assert cfg.rack_interface == "eth3"
+
+    def test_spine_needs_only_tier(self):
+        cfg = MtpNodeConfig("T-1", tier=3)
+        assert cfg.rack_interface is None
+
+    def test_servers_rejected(self):
+        with pytest.raises(ValueError):
+            MtpNodeConfig("H-1", tier=0)
+
+
+class TestGlobalConfig:
+    def test_from_topology_covers_all_routers(self):
+        topo = build_folded_clos(two_pod_params())
+        config = MtpGlobalConfig.from_topology(topo)
+        assert set(config.nodes) == set(topo.routers())
+        for tor in topo.all_tors():
+            assert config.for_node(tor).rack_interface == topo.rack_port[tor]
+
+    def test_render_json_listing2_fields(self):
+        topo = build_folded_clos(four_pod_params())
+        doc = json.loads(MtpGlobalConfig.from_topology(topo).render_json())
+        topology = doc["topology"]
+        assert sorted(topology["leaves"]) == topology["leaves"]
+        assert len(topology["leaves"]) == 8
+        assert set(topology["leavesNetworkPortDict"]) == set(topology["leaves"])
+        spines = topology["tiers"]
+        assert all(name not in topology["leaves"] for name in spines)
+
+    def test_config_lines_count_scales_with_leaves_only(self):
+        small = MtpGlobalConfig.from_topology(
+            build_folded_clos(two_pod_params()))
+        large = MtpGlobalConfig.from_topology(
+            build_folded_clos(four_pod_params()))
+        delta = len(large.config_lines()) - len(small.config_lines())
+        # 4 extra leaves (x2 lines each: list entry + dict entry) plus
+        # 4 extra spine-tier entries
+        assert 8 <= delta <= 16

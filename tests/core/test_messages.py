@@ -1,0 +1,89 @@
+"""MR-MTP message wire sizes — the arithmetic behind Figs. 6 and 10."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.messages import (
+    MtpAccept,
+    MtpAdvertise,
+    MtpData,
+    MtpFullHello,
+    MtpJoin,
+    MtpKeepalive,
+    MtpOffer,
+    MtpRestored,
+    MtpUnreachable,
+    MtpUpdateLost,
+)
+from repro.core.vid import Vid
+from repro.stack.addresses import Ipv4Address
+from repro.stack.ipv4 import Ipv4Packet, PROTO_UDP
+from repro.stack.payload import RawBytes
+
+
+def test_keepalive_is_one_byte():
+    assert MtpKeepalive().wire_size == 1
+    assert MtpKeepalive().type_code == 0x06  # the paper's Data: 06
+
+
+def test_full_hello_is_two_bytes():
+    assert MtpFullHello(tier=3).wire_size == 2
+
+
+def test_vid_list_message_sizes():
+    one = MtpAdvertise(vids=(Vid.parse("11"),))
+    assert one.wire_size == 2 + 2  # type + count + (len + 1 part)
+    two = MtpAdvertise(vids=(Vid.parse("11.1"), Vid.parse("12.1")))
+    assert two.wire_size == 2 + 3 + 3
+
+
+def test_update_lost_matches_fig6_arithmetic():
+    """S1_1's TC1 cascade: one UPDATE_LOST of '11.1' = 5 B payload,
+    19 B on the wire; seven messages land at the paper's ~120 B."""
+    lost = MtpUpdateLost(vids=(Vid.parse("11.1"),))
+    assert lost.wire_size == 5
+    assert 14 + lost.wire_size == 19
+    unreachable = MtpUnreachable(roots=(11,))
+    assert 14 + unreachable.wire_size == 17
+    total = 1 * 19 + 6 * 17  # 1 LOST + 6 UNREACHABLE frames
+    assert abs(total - 120) <= 5
+
+
+def test_root_list_sizes_with_wide_roots():
+    assert MtpUnreachable(roots=(11,)).wire_size == 3
+    assert MtpUnreachable(roots=(11, 12)).wire_size == 4
+    assert MtpRestored(roots=(300,)).wire_size == 5  # escape-coded root
+
+
+def test_empty_lists_rejected():
+    with pytest.raises(ValueError):
+        MtpAdvertise(vids=())
+    with pytest.raises(ValueError):
+        MtpUnreachable(roots=())
+
+
+def test_data_header_is_five_bytes_for_small_roots():
+    packet = Ipv4Packet(Ipv4Address.parse("192.168.11.1"),
+                        Ipv4Address.parse("192.168.14.1"),
+                        PROTO_UDP, RawBytes(100))
+    data = MtpData(src_root=11, dst_root=14, packet=packet)
+    assert data.header_size == 5
+    assert data.wire_size == 5 + packet.wire_size
+
+
+def test_data_encapsulation_overhead_is_tiny_vs_vxlan():
+    """The MR-MTP header replaces a 50-byte VXLAN+outer-IP+UDP stack
+    with 5 bytes — the section IX overhead discussion."""
+    packet = Ipv4Packet(Ipv4Address.parse("192.168.11.1"),
+                        Ipv4Address.parse("192.168.14.1"),
+                        PROTO_UDP, RawBytes(1000))
+    data = MtpData(11, 14, packet)
+    assert data.wire_size - packet.wire_size == 5
+
+
+def test_all_message_types_distinct():
+    codes = [cls.type_code for cls in
+             (MtpKeepalive, MtpFullHello, MtpAdvertise, MtpJoin, MtpOffer,
+              MtpAccept, MtpUpdateLost, MtpUnreachable, MtpRestored, MtpData)]
+    assert len(set(codes)) == len(codes)

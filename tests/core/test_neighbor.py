@@ -1,0 +1,118 @@
+"""Quick-to-Detect / Slow-to-Accept liveness machine."""
+
+from __future__ import annotations
+
+from repro.core.config import MtpTimers
+from repro.core.neighbor import NeighborState, PortNeighbor
+from repro.sim.engine import Simulator
+from repro.sim.units import MILLISECOND
+
+TIMERS = MtpTimers()  # hello 50 ms, dead 100 ms, accept after 3
+
+
+def machine(sim):
+    events = []
+    nbr = PortNeighbor(
+        sim, "eth1", TIMERS,
+        on_up=lambda n: events.append((sim.now, "up")),
+        on_down=lambda n, reason: events.append((sim.now, "down", reason)),
+    )
+    return nbr, events
+
+
+def test_initial_discovery_is_immediate():
+    """Bring-up is not dampened: the first tiered hello accepts."""
+    sim = Simulator()
+    nbr, events = machine(sim)
+    sim.schedule_at(10, nbr.saw_frame, 2)
+    sim.run(until=20)
+    assert nbr.up
+    assert events == [(10, "up")]
+
+
+def test_discovery_requires_tier():
+    """A keepalive (no tier) from an unknown neighbor cannot accept."""
+    sim = Simulator()
+    nbr, events = machine(sim)
+    sim.schedule_at(10, nbr.saw_frame)  # tier unknown
+    sim.run(until=20)
+    assert not nbr.up
+
+
+def test_quick_to_detect_one_missed_hello():
+    """Dead timer = 2x hello: silence for 100 ms declares the neighbor
+    down — one missed 50 ms hello, not the classical three."""
+    sim = Simulator()
+    nbr, events = machine(sim)
+    last_hello = 0
+    for t in range(0, 201, 50):
+        sim.schedule_at(t, nbr.saw_frame, 2)
+        last_hello = t
+    sim.run(until=1_000_000)
+    downs = [e for e in events if e[1] == "down"]
+    assert downs == [(last_hello + TIMERS.dead_us, "down", "dead-timer")]
+
+
+def test_any_frame_resets_dead_timer():
+    sim = Simulator()
+    nbr, events = machine(sim)
+    sim.schedule_at(0, nbr.saw_frame, 2)
+    # non-hello traffic (no tier) keeps the neighbor alive
+    for t in range(40, 400, 40):
+        sim.schedule_at(t, nbr.saw_frame)
+    sim.run(until=1_000_000)
+    downs = [e for e in events if e[1] == "down"]
+    assert downs and downs[0][0] == 360 + TIMERS.dead_us
+
+
+def test_slow_to_accept_requires_three_consecutive_hellos():
+    sim = Simulator()
+    nbr, events = machine(sim)
+    sim.schedule_at(0, nbr.saw_frame, 2)
+    sim.run(until=300 * MILLISECOND)  # dead timer fires at 100 ms
+    assert nbr.state is NeighborState.DEAD
+    base = 400 * MILLISECOND
+    for i in range(3):
+        sim.schedule_at(base + i * 50 * MILLISECOND, nbr.saw_frame, 2)
+    sim.run(until=base + 90 * MILLISECOND)
+    assert not nbr.up, "two hellos must not re-accept"
+    sim.run(until=base + 200 * MILLISECOND)
+    ups = [e for e in events if e[1] == "up"]
+    assert len(ups) == 2
+    assert ups[1][0] == base + 2 * 50 * MILLISECOND
+
+
+def test_slow_to_accept_dampens_flapping():
+    """Hellos separated by more than the dead interval never accumulate
+    three consecutive — a toggling interface stays down."""
+    sim = Simulator()
+    nbr, events = machine(sim)
+    sim.schedule_at(0, nbr.saw_frame, 2)
+    sim.run(until=300 * MILLISECOND)
+    assert nbr.state is NeighborState.DEAD
+    # hellos every 150 ms (> dead 100 ms): consecutive count keeps resetting
+    for i in range(10):
+        sim.schedule_at(400_000 + i * 150_000, nbr.saw_frame, 2)
+    sim.run(until=3_000_000)
+    assert len([e for e in events if e[1] == "up"]) == 1  # only the initial
+
+
+def test_local_port_down_declares_immediately():
+    sim = Simulator()
+    nbr, events = machine(sim)
+    sim.schedule_at(0, nbr.saw_frame, 2)
+    sim.schedule_at(10_000, nbr.local_port_down)
+    sim.run(until=20_000)
+    assert events[-1] == (10_000, "down", "local-port-down")
+    assert nbr.times_died == 1
+
+
+def test_probation_decays_back_to_dead():
+    sim = Simulator()
+    nbr, events = machine(sim)
+    sim.schedule_at(0, nbr.saw_frame, 2)
+    sim.run(until=300 * MILLISECOND)
+    nbr.saw_frame(2)  # one hello -> probation
+    assert nbr.state is NeighborState.PROBATION
+    sim.run(until=sim.now + 200 * MILLISECOND)  # silence again
+    assert nbr.state is NeighborState.DEAD

@@ -1,0 +1,91 @@
+"""CLI entry points (python -m repro ...)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv: str) -> str:
+    assert main(list(argv)) == 0
+    return capsys.readouterr().out
+
+
+def test_topo(capsys):
+    out = run_cli(capsys, "topo", "--pods", "2")
+    assert "routers: 12" in out
+    assert "TC1: fail L-1-1:eth1" in out
+    assert "192.168.11.0/24 -> ToR VID 11" in out
+
+
+def test_topo_with_zones(capsys):
+    out = run_cli(capsys, "topo", "--pods", "2", "--zones", "2")
+    assert "2 zone(s)" in out
+
+
+def test_converge_mtp(capsys):
+    out = run_cli(capsys, "converge", "--stack", "mtp")
+    assert "MR-MTP converged" in out
+    assert "VID table:" in out
+    assert "11.1" in out
+
+
+def test_converge_bgp_shows_summary_and_fib(capsys):
+    out = run_cli(capsys, "converge", "--stack", "bgp")
+    assert "BGP router" in out
+    assert "established" in out
+    assert "proto bgp metric 20" in out
+
+
+def test_fail(capsys):
+    out = run_cli(capsys, "fail", "--stack", "mtp", "--case", "TC2")
+    assert "convergence time" in out
+    assert "blast radius" in out
+
+
+def test_loss(capsys):
+    out = run_cli(capsys, "loss", "--stack", "mtp", "--case", "TC2",
+                  "--rate", "500")
+    assert "lost=" in out
+
+
+def test_config_mtp(capsys):
+    out = run_cli(capsys, "config", "--stack", "mtp", "--pods", "2")
+    assert "leavesNetworkPortDict" in out
+
+
+def test_config_bgp_specific_node(capsys):
+    out = run_cli(capsys, "config", "--stack", "bgp", "--node", "L-1-1")
+    assert "configuration for L-1-1" in out
+    assert "network 192.168.11.0/24" in out
+
+
+def test_unknown_stack_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["fail", "--stack", "ospf"])
+
+
+def test_missing_command_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_converge_with_explicit_nodes(capsys):
+    out = run_cli(capsys, "converge", "--stack", "mtp", "--show", "L-1-1")
+    assert "ToR VID: 11" in out
+
+
+def test_loss_far_direction(capsys):
+    out = run_cli(capsys, "loss", "--stack", "mtp", "--case", "TC1",
+                  "--direction", "far", "--rate", "500")
+    assert "sender far" in out and "lost=" in out
+
+
+def test_experiment_rejects_bad_direction():
+    from repro.harness.experiments import StackKind, run_packet_loss_experiment
+    from repro.topology.clos import two_pod_params
+
+    with pytest.raises(ValueError):
+        run_packet_loss_experiment(two_pod_params(), StackKind.MTP, "TC1",
+                                   direction="sideways")

@@ -1,0 +1,77 @@
+"""HTML report generation: structure, chart grammar, data fidelity."""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+
+from repro.harness.htmlreport import (
+    SeriesSet,
+    dot_plot_log,
+    grouped_bar_chart,
+    render_report,
+)
+
+DATA = SeriesSet(
+    categories=("TC1", "TC2"),
+    names=("MR-MTP", "BGP/ECMP"),
+    values=[[100.0, 0.6], [2400.0, 1.0]],
+)
+
+
+def test_seriesset_validation():
+    with pytest.raises(ValueError):
+        SeriesSet(("a",), ("x", "y"), [[1.0]])
+    with pytest.raises(ValueError):
+        SeriesSet(("a",), ("x",), [[1.0, 2.0]])
+    with pytest.raises(ValueError):
+        SeriesSet(("a",), ("1", "2", "3", "4"), [[1.0]] * 4)
+
+
+def test_bar_chart_structure():
+    block = grouped_bar_chart("Bytes", DATA, unit="bytes")
+    assert block.count('<path class="mark"') == 4
+    assert block.count("<title>") == 4  # hover tooltip per mark
+    assert "var(--series-1)" in block and "var(--series-2)" in block
+    # direct value labels present, in default text ink (no fill attr)
+    assert ">2,400<" in block
+    assert re.search(r'<text[^>]*fill="var\(--series', block) is None
+    # legend + table view
+    assert block.count('class="key"') == 2
+    assert "<details>" in block and "<table>" in block
+
+
+def test_bar_data_end_is_rounded_baseline_square():
+    block = grouped_bar_chart("Bytes", DATA, unit="bytes")
+    # rounded top: quadratic curves present; square baseline: path closes
+    # with a straight drop to the baseline
+    first_path = re.search(r'd="([^"]+)"', block).group(1)
+    assert first_path.count("Q") == 2
+    assert first_path.endswith("Z")
+
+
+def test_dot_plot_log_structure():
+    block = dot_plot_log("Convergence", DATA, unit="ms")
+    assert block.count('r="5"') == 4      # >=8px markers (d=10)
+    assert block.count('r="7"') == 4      # 2px surface ring under each
+    assert "log scale" in block
+    # decade gridlines cover the full value range (0.6 .. 2400)
+    for decade in ("0.10", "1", "10", "100", "1,000", "10,000"):
+        assert f">{decade}<" in block, decade
+
+
+def test_render_report_self_contained(tmp_path):
+    out = render_report("Title", "intro", [grouped_bar_chart("A", DATA, "x")],
+                        tmp_path / "r.html")
+    text = out.read_text()
+    assert text.startswith("<!doctype html>")
+    assert "prefers-color-scheme: dark" in text  # selected dark palette
+    assert "http" not in text.split("</style>")[1], "no external resources"
+
+
+def test_single_hue_never_cycles():
+    """Series colors come from the fixed slots, never generated."""
+    block = grouped_bar_chart("Bytes", DATA, unit="bytes")
+    hues = set(re.findall(r"var\(--series-(\d)\)", block))
+    assert hues == {"1", "2"}

@@ -1,0 +1,142 @@
+"""Link/interface semantics, incl. the asymmetric admin-down behaviour."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.world import World
+from repro.stack.addresses import BROADCAST_MAC
+from repro.stack.ethernet import EthernetFrame, ETHERTYPE_MTP
+from repro.stack.payload import RawBytes
+
+
+def frame(src_iface, size=100):
+    return EthernetFrame(BROADCAST_MAC, src_iface.mac, ETHERTYPE_MTP, RawBytes(size))
+
+
+def build_pair(world):
+    a = world.add_node("A")
+    b = world.add_node("B")
+    link = world.connect(a, b)
+    return a, b, link
+
+
+def test_frame_delivery(world):
+    a, b, link = build_pair(world)
+    got = []
+    b.register_handler(ETHERTYPE_MTP, lambda iface, f: got.append((world.sim.now, f)))
+    ia = a.interfaces["eth1"]
+    assert ia.send(frame(ia))
+    world.run()
+    assert len(got) == 1
+    t, f = got[0]
+    assert t > 0  # serialization + propagation
+    assert f.wire_size == 114
+
+
+def test_back_to_back_frames_serialize_sequentially(world):
+    a, b, link = build_pair(world)
+    times = []
+    b.register_handler(ETHERTYPE_MTP, lambda iface, f: times.append(world.sim.now))
+    ia = a.interfaces["eth1"]
+    for _ in range(3):
+        ia.send(frame(ia, size=1486))  # 1500-byte frames
+    world.run()
+    assert len(times) == 3
+    gaps = [t2 - t1 for t1, t2 in zip(times, times[1:])]
+    ser = link.serialization_us(frame(ia, size=1486))
+    assert gaps == [ser, ser]
+
+
+def test_send_on_admin_down_interface_fails(world):
+    a, b, link = build_pair(world)
+    ia = a.interfaces["eth1"]
+    ia.set_admin(False)
+    assert not ia.send(frame(ia))
+    assert ia.counters.tx_dropped_down == 1
+
+
+def test_frame_arriving_at_downed_interface_is_dropped(world):
+    a, b, link = build_pair(world)
+    got = []
+    b.register_handler(ETHERTYPE_MTP, lambda iface, f: got.append(f))
+    ia = a.interfaces["eth1"]
+    ib = b.interfaces["eth1"]
+    ib.set_admin(False)
+    ia.send(frame(ia))
+    world.run()
+    assert got == []
+    assert ib.counters.rx_dropped_down == 1
+
+
+def test_admin_down_notifies_local_node_immediately(world):
+    """The paper's key failure semantic: same-side instant detection."""
+    a, b, link = build_pair(world)
+    down_events = []
+    a.on_interface_down(lambda iface: down_events.append((world.sim.now, iface.name)))
+    b.on_interface_down(lambda iface: down_events.append(("REMOTE", iface.name)))
+    a.interfaces["eth1"].set_admin(False)
+    assert down_events == [(0, "eth1")]  # local yes, remote never
+    world.run()
+    assert len(down_events) == 1
+
+
+def test_admin_up_notifies_local_node(world):
+    a, b, link = build_pair(world)
+    ups = []
+    a.on_interface_up(lambda iface: ups.append(iface.name))
+    ia = a.interfaces["eth1"]
+    ia.set_admin(False)
+    ia.set_admin(True)
+    assert ups == ["eth1"]
+
+
+def test_set_admin_idempotent(world):
+    a, b, link = build_pair(world)
+    events = []
+    a.on_interface_down(lambda iface: events.append("down"))
+    ia = a.interfaces["eth1"]
+    ia.set_admin(False)
+    ia.set_admin(False)
+    assert events == ["down"]
+
+
+def test_counters_track_tx_rx(world):
+    a, b, link = build_pair(world)
+    b.register_handler(ETHERTYPE_MTP, lambda iface, f: None)
+    ia = a.interfaces["eth1"]
+    ib = b.interfaces["eth1"]
+    ia.send(frame(ia, size=100))
+    world.run()
+    assert ia.counters.tx_frames == 1
+    assert ia.counters.tx_bytes == 114
+    assert ib.counters.rx_frames == 1
+    assert ib.counters.rx_bytes == 114
+
+
+def test_cannot_double_cable(world):
+    a, b, link = build_pair(world)
+    c = world.add_node("C")
+    with pytest.raises(ValueError):
+        world.cable(a.interfaces["eth1"], c.add_interface())
+
+
+def test_world_find_link(world):
+    a, b, link = build_pair(world)
+    assert world.find_link("A", "B") is link
+    assert world.find_link("B", "A") is link
+    assert world.find_link("A", "C") is None
+
+
+def test_port_numbers_are_one_based_sequential(world):
+    a = world.add_node("A")
+    i1 = a.add_interface()
+    i2 = a.add_interface()
+    assert (i1.port_number, i2.port_number) == (1, 2)
+    assert (i1.name, i2.name) == ("eth1", "eth2")
+
+
+def test_duplicate_node_name_rejected(world):
+    world.add_node("X")
+    with pytest.raises(ValueError):
+        world.add_node("X")

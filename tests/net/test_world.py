@@ -1,0 +1,54 @@
+"""World container behaviour."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.world import World
+
+
+def test_connect_creates_interfaces_both_sides(world):
+    a = world.add_node("A", tier=1)
+    b = world.add_node("B", tier=2)
+    link = world.connect(a, b)
+    assert link.end_a.node is a and link.end_b.node is b
+    assert a.interfaces and b.interfaces
+
+
+def test_all_interfaces(world):
+    a = world.add_node("A")
+    b = world.add_node("B")
+    world.connect(a, b)
+    world.connect(a, b)
+    assert len(world.all_interfaces()) == 4
+
+
+def test_run_for_advances_clock(world):
+    world.run_for(1234)
+    assert world.sim.now == 1234
+    world.run_for(1)
+    assert world.sim.now == 1235
+
+
+def test_trace_disabled_worlds_store_nothing():
+    world = World(seed=0, trace_enabled=False)
+    node = world.add_node("A")
+    node.log("cat", "message")
+    assert world.trace.records == []
+
+
+def test_seed_isolation():
+    """Two worlds with the same seed produce identical rng streams;
+    different seeds differ."""
+    a = World(seed=5).rng.stream("x").integers(0, 1 << 30, size=5)
+    b = World(seed=5).rng.stream("x").integers(0, 1 << 30, size=5)
+    c = World(seed=6).rng.stream("x").integers(0, 1 << 30, size=5)
+    assert list(a) == list(b)
+    assert list(a) != list(c)
+
+
+def test_node_lookup(world):
+    node = world.add_node("X")
+    assert world.node("X") is node
+    with pytest.raises(KeyError):
+        world.node("missing")

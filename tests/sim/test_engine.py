@@ -1,0 +1,155 @@
+"""Unit tests for the event engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import Simulator, SimulationError
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule_at(30, fired.append, "c")
+    sim.schedule_at(10, fired.append, "a")
+    sim.schedule_at(20, fired.append, "b")
+    sim.run()
+    assert fired == ["a", "b", "c"]
+    assert sim.now == 30
+
+
+def test_same_time_events_fire_in_scheduling_order():
+    sim = Simulator()
+    fired = []
+    for tag in range(10):
+        sim.schedule_at(5, fired.append, tag)
+    sim.run()
+    assert fired == list(range(10))
+
+
+def test_priority_breaks_ties_before_seq():
+    sim = Simulator()
+    fired = []
+    sim.schedule_at(5, fired.append, "late", priority=1)
+    sim.schedule_at(5, fired.append, "early", priority=0)
+    sim.run()
+    assert fired == ["early", "late"]
+
+
+def test_schedule_after_is_relative():
+    sim = Simulator()
+    times = []
+    sim.schedule_after(10, lambda: times.append(sim.now))
+    sim.run()
+    assert times == [10]
+
+
+def test_nested_scheduling_from_callback():
+    sim = Simulator()
+    fired = []
+
+    def outer():
+        fired.append(("outer", sim.now))
+        sim.schedule_after(5, inner)
+
+    def inner():
+        fired.append(("inner", sim.now))
+
+    sim.schedule_at(10, outer)
+    sim.run()
+    assert fired == [("outer", 10), ("inner", 15)]
+
+
+def test_cancel_prevents_firing():
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule_at(10, fired.append, "x")
+    handle.cancel()
+    sim.run()
+    assert fired == []
+    assert not handle.active
+
+
+def test_cancel_twice_is_safe():
+    sim = Simulator()
+    handle = sim.schedule_at(10, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    sim.run()
+
+
+def test_run_until_stops_and_advances_clock():
+    sim = Simulator()
+    fired = []
+    sim.schedule_at(10, fired.append, "a")
+    sim.schedule_at(100, fired.append, "b")
+    sim.run(until=50)
+    assert fired == ["a"]
+    assert sim.now == 50
+    sim.run()
+    assert fired == ["a", "b"]
+
+
+def test_run_until_advances_clock_even_when_queue_empty():
+    sim = Simulator()
+    sim.run(until=123)
+    assert sim.now == 123
+
+
+def test_scheduling_in_past_raises():
+    sim = Simulator()
+    sim.schedule_at(10, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(5, lambda: None)
+
+
+def test_negative_delay_raises():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule_after(-1, lambda: None)
+
+
+def test_max_events_budget():
+    sim = Simulator()
+    fired = []
+    for i in range(10):
+        sim.schedule_at(i, fired.append, i)
+    sim.run(max_events=3)
+    assert fired == [0, 1, 2]
+
+
+def test_step_returns_false_on_empty_queue():
+    sim = Simulator()
+    assert sim.step() is False
+    sim.schedule_at(1, lambda: None)
+    assert sim.step() is True
+    assert sim.step() is False
+
+
+def test_call_soon_runs_at_current_time():
+    sim = Simulator()
+    times = []
+
+    def first():
+        sim.call_soon(lambda: times.append(sim.now))
+
+    sim.schedule_at(7, first)
+    sim.run()
+    assert times == [7]
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+    for i in range(5):
+        sim.schedule_at(i, lambda: None)
+    sim.run()
+    assert sim.events_processed == 5
+
+
+def test_pending_events_excludes_cancelled():
+    sim = Simulator()
+    sim.schedule_at(1, lambda: None)
+    h = sim.schedule_at(2, lambda: None)
+    h.cancel()
+    assert sim.pending_events == 1
