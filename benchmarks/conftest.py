@@ -12,6 +12,7 @@ EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 import pytest
@@ -27,6 +28,13 @@ ALL_CASES = ("TC1", "TC2", "TC3", "TC4")
 @pytest.fixture(scope="session")
 def results_dir() -> Path:
     return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def jobs() -> int:
+    """Worker processes for fan-out-capable drivers: ``REPRO_JOBS`` (CI
+    sets 2), default 1 so benchmark timings stay comparable."""
+    return int(os.environ.get("REPRO_JOBS", "1"))
 
 
 def emit(results_dir: Path, name: str, title: str, columns, rows, note="") -> str:

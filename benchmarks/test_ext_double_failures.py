@@ -21,6 +21,7 @@ from repro.topology.clos import TIER_SERVER, two_pod_params
 from repro.harness.experiments import StackKind, build_and_converge
 from repro.harness.failures import FailureInjector
 from repro.harness.oracle import compare_with_oracle
+from repro.harness.parallel import execute_tasks
 
 from conftest import emit
 
@@ -35,21 +36,26 @@ def fabric_links(topo):
     return pairs
 
 
-def run_sweep(kind: StackKind, settle_us: int):
+def _pair_task(spec):
+    """One double-cut combination (top-level: picklable for the pool)."""
+    kind, settle_us, link_i, link_j = spec
+    world, topo, dep = build_and_converge(two_pod_params(), kind,
+                                          trace_enabled=False)
+    injector = FailureInjector(world)
+    injector.cut_link(*link_i)
+    injector.cut_link(*link_j)
+    world.run_for(settle_us)
+    bad = compare_with_oracle(dep, topo, probe_ports=(40000, 40001))
+    return [(link_i, link_j, d) for d in bad]
+
+
+def run_sweep(kind: StackKind, settle_us: int, jobs: int = 1):
     world0, topo0, _ = build_and_converge(two_pod_params(), kind)
     links = fabric_links(topo0)
     combos = list(itertools.combinations(range(len(links)), 2))
-    disagreements = []
-    for i, j in combos:
-        world, topo, dep = build_and_converge(two_pod_params(), kind,
-                                              trace_enabled=False)
-        injector = FailureInjector(world)
-        injector.cut_link(*links[i])
-        injector.cut_link(*links[j])
-        world.run_for(settle_us)
-        bad = compare_with_oracle(dep, topo, probe_ports=(40000, 40001))
-        for d in bad:
-            disagreements.append((links[i], links[j], d))
+    specs = [(kind, settle_us, links[i], links[j]) for i, j in combos]
+    per_pair = execute_tasks(specs, _pair_task, jobs=jobs)
+    disagreements = [d for pair in per_pair for d in pair]
     return len(combos), disagreements
 
 
@@ -57,9 +63,10 @@ def run_sweep(kind: StackKind, settle_us: int):
     (StackKind.MTP, 2 * SECOND),
     (StackKind.BGP, 8 * SECOND),
 ])
-def test_ext_double_failure_sweep(benchmark, results_dir, kind, settle):
+def test_ext_double_failure_sweep(benchmark, results_dir, kind, settle,
+                                  jobs):
     combos, disagreements = benchmark.pedantic(
-        lambda: run_sweep(kind, settle), rounds=1, iterations=1)
+        lambda: run_sweep(kind, settle, jobs=jobs), rounds=1, iterations=1)
     rows = [[kind.value, combos, combos * 12, len(disagreements)]]
     emit(results_dir, f"ext_double_failures_{kind.name.lower()}",
          f"Extension — double link-cut sweep vs oracle, 2-PoD, {kind.value}",

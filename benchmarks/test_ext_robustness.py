@@ -21,9 +21,9 @@ from conftest import emit
 
 @pytest.mark.parametrize("kind", [StackKind.MTP, StackKind.BGP,
                                   StackKind.BGP_BFD])
-def test_ext_robustness_sweep(benchmark, results_dir, kind):
+def test_ext_robustness_sweep(benchmark, results_dir, kind, jobs):
     results = benchmark.pedantic(
-        lambda: single_failure_sweep(two_pod_params(), kind),
+        lambda: single_failure_sweep(two_pod_params(), kind, jobs=jobs),
         rounds=1, iterations=1,
     )
     blackholes = sum(len(r.unreachable) for r in results)

@@ -6,27 +6,39 @@ simulator-era equivalent of the paper's FABRIC automation entry points:
     python -m repro topo     --pods 4                 # build & validate
     python -m repro converge --stack mtp --pods 2     # converge, show state
     python -m repro fail     --stack bgp-bfd --case TC1
+    python -m repro fail     --stack mtp --case TC1 --runs 5 --jobs 4
     python -m repro loss     --stack mtp --case TC2 --direction near
     python -m repro config   --stack bgp --pods 4     # Listing 1/2 output
+    python -m repro sweep    --stack mtp --jobs 4     # robustness sweep
+
+``--jobs N`` fans independent runs out over N worker processes (0 = one
+per core); results are byte-identical to the serial path (the engine is
+deterministic per seed).  Sweeps and batches reuse an on-disk result
+cache keyed by a content hash of the task; ``--no-cache`` disables it.
 """
 
 from __future__ import annotations
 
 import argparse
+import statistics
 import sys
+import time
 
 from repro.sim.units import MILLISECOND, SECOND
 from repro.topology.clos import ClosParams, build_folded_clos
 from repro.topology.validate import validate_topology
 from repro.net.world import World
+from repro.harness.cache import ResultCache, default_cache_root
 from repro.harness.experiments import (
     StackKind,
     StackTimers,
     build_and_converge,
     detection_bound_us,
+    run_experiment_batch,
     run_failure_experiment,
     run_packet_loss_experiment,
 )
+from repro.harness.parallel import FanoutReport
 
 _STACKS = {
     "mtp": StackKind.MTP,
@@ -43,6 +55,30 @@ def _add_topo_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--zones", type=int, default=1,
                         help=">1 adds the super-spine tier")
     parser.add_argument("--seed", type=int, default=0)
+
+
+def _jobs_type(value: str) -> int:
+    n = int(value)
+    if n < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be >= 0 (0 = one per core), got {n}")
+    return n
+
+
+def _add_fanout_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=_jobs_type, default=1,
+                        help="worker processes (0 = one per core)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="recompute instead of reusing cached results")
+    parser.add_argument("--cache-dir", default=None,
+                        help=f"result cache root (default "
+                             f"{default_cache_root()})")
+
+
+def _cache_from(args):
+    if args.no_cache:
+        return None
+    return ResultCache(args.cache_dir)
 
 
 def _params(args) -> ClosParams:
@@ -87,15 +123,56 @@ def cmd_converge(args) -> int:
 
 def cmd_fail(args) -> int:
     kind = _STACKS[args.stack]
-    result = run_failure_experiment(_params(args), kind, args.case,
-                                    seed=args.seed)
-    print(f"{kind.value}, {args.case}:")
-    print(f"  convergence time : {result.convergence_ms:.2f} ms")
-    print(f"  control overhead : {result.control_bytes} B in "
-          f"{result.update_count} update messages")
-    print(f"  blast radius     : {result.blast_radius} routers "
-          f"({', '.join(result.blast_routers)})")
+    if args.runs <= 1:
+        result = run_failure_experiment(_params(args), kind, args.case,
+                                        seed=args.seed)
+        print(f"{kind.value}, {args.case}:")
+        print(f"  convergence time : {result.convergence_ms:.2f} ms")
+        print(f"  control overhead : {result.control_bytes} B in "
+              f"{result.update_count} update messages")
+        print(f"  blast radius     : {result.blast_radius} routers "
+              f"({', '.join(result.blast_routers)})")
+        return 0
+    report = FanoutReport()
+    results = run_experiment_batch(
+        _params(args), kind, args.case, n_runs=args.runs,
+        base_seed=args.seed, jobs=args.jobs, cache=_cache_from(args),
+        report=report,
+    )
+    print(f"{kind.value}, {args.case}, {args.runs} runs "
+          f"({report.describe()}):")
+    for r in results:
+        print(f"  seed {r.seed:>20d}: conv {r.convergence_ms:9.2f} ms, "
+              f"{r.control_bytes} B / {r.update_count} updates, "
+              f"blast {r.blast_radius}")
+    conv = [r.convergence_ms for r in results]
+    print(f"  mean convergence : {statistics.mean(conv):.2f} ms "
+          f"(min {min(conv):.2f}, max {max(conv):.2f})")
     return 0
+
+
+def cmd_sweep(args) -> int:
+    from repro.harness.sweep import (
+        single_failure_sweep_outcomes,
+        summarize,
+    )
+
+    kind = _STACKS[args.stack]
+    report = FanoutReport()
+    t0 = time.perf_counter()
+    outcomes = single_failure_sweep_outcomes(
+        _params(args), kind, seed=args.seed, jobs=args.jobs,
+        cache=_cache_from(args), report=report,
+    )
+    elapsed = time.perf_counter() - t0
+    print(summarize([o.result for o in outcomes]))
+    print(f"fan-out: {report.describe()}, {elapsed:.2f} s wall clock")
+    if args.digests:
+        for o in outcomes:
+            p = o.result.point
+            print(f"  {o.digest[:16]}  {p.node}:{p.interface}")
+    bad = [o for o in outcomes if not o.result.ok]
+    return 1 if bad else 0
 
 
 def cmd_loss(args) -> int:
@@ -152,7 +229,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_fail.add_argument("--stack", choices=_STACKS, required=True)
     p_fail.add_argument("--case", choices=("TC1", "TC2", "TC3", "TC4"),
                         default="TC1")
+    p_fail.add_argument("--runs", type=int, default=1,
+                        help=">1 runs a multi-seed batch (seeds derived "
+                             "from --seed)")
+    _add_fanout_args(p_fail)
     p_fail.set_defaults(func=cmd_fail)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="exhaustive single-failure robustness sweep")
+    _add_topo_args(p_sweep)
+    p_sweep.add_argument("--stack", choices=_STACKS, required=True)
+    p_sweep.add_argument("--digests", action="store_true",
+                         help="print each point's run digest")
+    _add_fanout_args(p_sweep)
+    p_sweep.set_defaults(func=cmd_sweep)
 
     p_loss = sub.add_parser("loss", help="run a packet-loss experiment")
     _add_topo_args(p_loss)

@@ -24,8 +24,18 @@ from repro.harness.metrics import (
 from repro.harness.experiments import (
     ExperimentResult,
     StackKind,
+    run_experiment_batch,
     run_failure_experiment,
     run_packet_loss_experiment,
+)
+from repro.harness.cache import ResultCache, default_cache_root, task_key
+from repro.harness.digest import run_digest, stable_seed, trace_digest
+from repro.harness.parallel import (
+    DeterminismError,
+    FanoutReport,
+    assert_fanout_deterministic,
+    execute_tasks,
+    resolve_jobs,
 )
 
 __all__ = [
@@ -43,6 +53,18 @@ __all__ = [
     "snapshot_table_change_counts",
     "ExperimentResult",
     "StackKind",
+    "run_experiment_batch",
     "run_failure_experiment",
     "run_packet_loss_experiment",
+    "ResultCache",
+    "default_cache_root",
+    "task_key",
+    "run_digest",
+    "stable_seed",
+    "trace_digest",
+    "DeterminismError",
+    "FanoutReport",
+    "assert_fanout_deterministic",
+    "execute_tasks",
+    "resolve_jobs",
 ]

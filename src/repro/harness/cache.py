@@ -1,0 +1,140 @@
+"""On-disk result cache for experiment fan-out.
+
+Each cache entry is one converged experiment task — a sweep point or a
+seeded failure run — keyed by a SHA-256 content hash of everything that
+determines its outcome: topology parameters, stack kind, the full timer
+bundle, the failure point/case, the seed and a schema version.  Because
+the simulator is deterministic, a key collision-free hit can be replayed
+instead of re-run: repeated sweeps and CI reruns skip converged points.
+
+Layout: ``<root>/<key[:2]>/<key>.json`` — a two-level fan-out so a large
+sweep doesn't put thousands of files in one directory.  Every entry
+stores its own key and schema version; a mismatch (or unparseable JSON,
+or a torn write) is treated as corruption and the entry is dropped and
+recomputed, never trusted.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import tempfile
+from enum import Enum
+from pathlib import Path
+from typing import Any, Optional
+
+from repro.harness.digest import canonical_json, payload_digest
+
+# Bump whenever the semantics of cached payloads change (new metric
+# fields, different counting rules...): old entries then miss cleanly.
+CACHE_SCHEMA = 1
+
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+
+
+def default_cache_root() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro``."""
+    env = os.environ.get(ENV_CACHE_DIR)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro"
+
+
+def _jsonable(value: Any) -> Any:
+    """Reduce task-key components to plain JSON-stable values."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {f.name: _jsonable(getattr(value, f.name))
+                for f in dataclasses.fields(value)}
+    if isinstance(value, Enum):
+        return value.value
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+def task_key(task: str, **components: Any) -> str:
+    """Content hash of one experiment task.
+
+    ``task`` names the task family ("sweep-point", "failure-run", ...);
+    ``components`` are everything that determines the outcome.  The hash
+    is stable across processes and machines: it goes through canonical
+    JSON and SHA-256, never ``hash()``.
+    """
+    body = {"schema": CACHE_SCHEMA, "task": task,
+            "components": _jsonable(components)}
+    return payload_digest(body)
+
+
+class ResultCache:
+    """Content-addressed store of finished task payloads."""
+
+    def __init__(self, root: Optional[Path] = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_root()
+        self.hits = 0
+        self.misses = 0
+        self.dropped = 0  # corrupted entries discarded
+
+    # ------------------------------------------------------------------
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[dict]:
+        """The stored payload, or None on miss *or* corruption (the
+        corrupted file is removed so the slot recomputes cleanly)."""
+        path = self._path(key)
+        try:
+            raw = path.read_text()
+        except (FileNotFoundError, OSError):
+            self.misses += 1
+            return None
+        try:
+            entry = json.loads(raw)
+            if entry["key"] != key or entry["schema"] != CACHE_SCHEMA:
+                raise ValueError("key/schema mismatch")
+            payload = entry["payload"]
+        except (ValueError, KeyError, TypeError):
+            self.dropped += 1
+            self.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        return payload
+
+    def put(self, key: str, payload: dict) -> None:
+        """Atomically persist ``payload`` under ``key`` (write to a temp
+        file in the same directory, then rename — a crashed writer leaves
+        either nothing or a complete entry, never a torn one)."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {"schema": CACHE_SCHEMA, "key": key, "payload": payload}
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(canonical_json(entry))
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def __len__(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def describe(self) -> str:
+        return (f"cache {self.root}: {self.hits} hits, {self.misses} misses"
+                + (f", {self.dropped} corrupted entries dropped"
+                   if self.dropped else ""))

@@ -1,0 +1,73 @@
+"""Run digests: a content fingerprint of one experiment run.
+
+The engine is bit-for-bit deterministic for a fixed seed (events are
+ordered by (time, priority, sequence)), so two runs of the same task must
+produce the *identical* trace and metrics.  A digest turns that property
+into something checkable across process boundaries: the parallel runner
+hashes each run's trace log plus its result payload and the determinism
+guard asserts serial and fanned-out execution agree byte for byte.
+
+Digests use SHA-256 over a canonical rendering — never Python's builtin
+``hash()``, which is salted per process (PYTHONHASHSEED) and would make
+cross-process comparison meaningless.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Iterable
+
+from repro.sim.trace import TraceLog, TraceRecord
+
+# Bump when the canonical rendering changes; embedded in every digest so
+# stale cache entries from an older scheme can never compare equal.
+DIGEST_SCHEMA = 1
+
+
+def canonical_json(payload: Any) -> str:
+    """Deterministic JSON rendering: sorted keys, no whitespace noise,
+    ``repr`` fallback for non-JSON values (enums, dataclasses...)."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"),
+                      default=repr)
+
+
+def _record_line(rec: TraceRecord) -> bytes:
+    data = canonical_json(rec.data) if rec.data else ""
+    return f"{rec.time}|{rec.node}|{rec.category}|{rec.message}|{data}\n".encode()
+
+
+def trace_digest(trace: TraceLog | Iterable[TraceRecord]) -> str:
+    """SHA-256 over the full trace log in emission order."""
+    records = trace.records if isinstance(trace, TraceLog) else trace
+    h = hashlib.sha256(f"trace:v{DIGEST_SCHEMA}\n".encode())
+    for rec in records:
+        h.update(_record_line(rec))
+    return h.hexdigest()
+
+
+def payload_digest(payload: Any) -> str:
+    """SHA-256 of a canonical JSON rendering of a result payload."""
+    h = hashlib.sha256(f"payload:v{DIGEST_SCHEMA}\n".encode())
+    h.update(canonical_json(payload).encode())
+    return h.hexdigest()
+
+
+def run_digest(trace: TraceLog | Iterable[TraceRecord], payload: Any) -> str:
+    """The per-run fingerprint: trace digest + metrics digest combined.
+
+    This is what the determinism guard compares between the serial and
+    parallel paths and what the result cache stores alongside payloads.
+    """
+    h = hashlib.sha256(f"run:v{DIGEST_SCHEMA}\n".encode())
+    h.update(trace_digest(trace).encode())
+    h.update(b"|")
+    h.update(payload_digest(payload).encode())
+    return h.hexdigest()
+
+
+def stable_seed(*components: Any) -> int:
+    """Derive a 63-bit task seed from arbitrary components, stably across
+    processes and interpreter restarts (unlike ``hash()``)."""
+    h = hashlib.sha256(canonical_json(list(components)).encode())
+    return int.from_bytes(h.digest()[:8], "big") >> 1

@@ -123,7 +123,8 @@ def run_failure_experiment(
     quiet_us: int = 1 * SECOND,
     max_wait_us: int = 30 * SECOND,
     settle_us: Optional[int] = None,
-) -> ExperimentResult:
+    return_world: bool = False,
+):
     """One failure run: inject the TC, watch updates quiesce, report.
 
     ``settle_us`` lets the converged fabric idle before the failure.
@@ -155,7 +156,7 @@ def run_failure_experiment(
     )
     convergence = monitor.convergence_time_us()
     blast = blast_radius(before, deployment.forwarding_tables())
-    return ExperimentResult(
+    result = ExperimentResult(
         kind=kind,
         case=case_name,
         seed=seed,
@@ -164,6 +165,135 @@ def run_failure_experiment(
         update_count=monitor.update_count,
         blast_routers=blast,
     )
+    if return_world:
+        return result, world
+    return result
+
+
+# ----------------------------------------------------------------------
+# multi-seed batches: one picklable spec per (case, seed) task so the
+# batch can fan out over worker processes and hit the result cache
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One failure run as an independent, picklable task."""
+
+    params: ClosParams
+    kind: StackKind
+    case_name: str
+    seed: int
+    timers: StackTimers
+    quiet_us: int = 1 * SECOND
+    max_wait_us: int = 30 * SECOND
+
+
+@dataclass
+class ExperimentOutcome:
+    """A failure run's metrics plus its determinism fingerprint."""
+
+    result: ExperimentResult
+    digest: str
+
+
+def run_experiment_task(spec: ExperimentSpec) -> ExperimentOutcome:
+    """The parallel worker (top-level so the process pool can pickle it)."""
+    from repro.harness.digest import run_digest
+
+    result, world = run_failure_experiment(
+        spec.params, spec.kind, spec.case_name, spec.seed, spec.timers,
+        quiet_us=spec.quiet_us, max_wait_us=spec.max_wait_us,
+        return_world=True,
+    )
+    digest = run_digest(world.trace, _experiment_payload(result))
+    return ExperimentOutcome(result=result, digest=digest)
+
+
+def _experiment_payload(result: ExperimentResult) -> dict:
+    return {
+        "kind": result.kind.value,
+        "case": result.case,
+        "seed": result.seed,
+        "convergence_us": result.convergence_us,
+        "control_bytes": result.control_bytes,
+        "update_count": result.update_count,
+        "blast_routers": list(result.blast_routers),
+    }
+
+
+def experiment_task_key(spec: ExperimentSpec) -> str:
+    from repro.harness.cache import task_key
+
+    return task_key(
+        "failure-run",
+        params=spec.params,
+        kind=spec.kind,
+        case=spec.case_name,
+        seed=spec.seed,
+        timers=spec.timers,
+        quiet_us=spec.quiet_us,
+        max_wait_us=spec.max_wait_us,
+    )
+
+
+def encode_experiment_outcome(outcome: ExperimentOutcome) -> dict:
+    return {**_experiment_payload(outcome.result), "digest": outcome.digest}
+
+
+def decode_experiment_outcome(payload: dict) -> ExperimentOutcome:
+    result = ExperimentResult(
+        kind=StackKind(payload["kind"]),
+        case=payload["case"],
+        seed=payload["seed"],
+        convergence_us=payload["convergence_us"],
+        control_bytes=payload["control_bytes"],
+        update_count=payload["update_count"],
+        blast_routers=list(payload["blast_routers"]),
+    )
+    return ExperimentOutcome(result=result, digest=payload["digest"])
+
+
+def run_experiment_batch(
+    params: ClosParams,
+    kind: StackKind,
+    case_name: str,
+    seeds: Optional[tuple[int, ...]] = None,
+    timers: Optional[StackTimers] = None,
+    n_runs: Optional[int] = None,
+    base_seed: int = 0,
+    jobs: int = 1,
+    cache=None,
+    report=None,
+) -> list[ExperimentResult]:
+    """Multi-seed batch of one failure case, fanned out over ``jobs``
+    worker processes.
+
+    Seeds come either explicitly via ``seeds`` (the paper's (0, 1, 2))
+    or are derived per task from ``base_seed`` when only ``n_runs`` is
+    given — :func:`repro.harness.digest.stable_seed` keeps the derived
+    seeds identical across processes and interpreter restarts.
+    """
+    from repro.harness.digest import stable_seed
+    from repro.harness.parallel import execute_tasks
+
+    if timers is None:
+        timers = StackTimers()
+    if seeds is None:
+        if n_runs is None:
+            seeds = (0, 1, 2)
+        else:
+            seeds = tuple(stable_seed("failure-batch", base_seed, i)
+                          for i in range(n_runs))
+    specs = [
+        ExperimentSpec(params=params, kind=kind, case_name=case_name,
+                       seed=seed, timers=timers)
+        for seed in seeds
+    ]
+    outcomes = execute_tasks(
+        specs, run_experiment_task, jobs=jobs, cache=cache,
+        key_fn=experiment_task_key, encode=encode_experiment_outcome,
+        decode=decode_experiment_outcome, report=report,
+    )
+    return [o.result for o in outcomes]
 
 
 def average_failure_runs(
@@ -172,12 +302,12 @@ def average_failure_runs(
     case_name: str,
     seeds: tuple[int, ...] = (0, 1, 2),
     timers: Optional[StackTimers] = None,
+    jobs: int = 1,
+    cache=None,
 ) -> ExperimentResult:
     """Multi-run average, as the paper's plotted values are."""
-    runs = [
-        run_failure_experiment(params, kind, case_name, seed, timers)
-        for seed in seeds
-    ]
+    runs = run_experiment_batch(params, kind, case_name, seeds, timers,
+                                jobs=jobs, cache=cache)
     return ExperimentResult(
         kind=kind,
         case=case_name,

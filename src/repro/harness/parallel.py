@@ -1,0 +1,146 @@
+"""Process-pool experiment fan-out with a determinism guard.
+
+Sweep points and seeded experiment runs are embarrassingly parallel:
+each task builds its own :class:`~repro.net.world.World` from scratch, so
+tasks share no state and the engine's per-seed determinism means the
+fan-out is *verifiable* — a run digest (trace + metrics hash, see
+:mod:`repro.harness.digest`) must come out identical whether a task ran
+inline, in a worker process, or was replayed from the result cache.
+
+The runner is generic: callers hand it picklable task specs, a top-level
+worker function, and (optionally) a :class:`~repro.harness.cache.ResultCache`
+plus encode/decode/key functions.  Cached tasks are answered from disk;
+the remainder fan out over a ``ProcessPoolExecutor`` with chunked
+scheduling; results come back in task order regardless of completion
+order.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence
+
+from repro.harness.cache import ResultCache
+
+
+class DeterminismError(AssertionError):
+    """Serial and parallel execution disagreed — a nondeterminism bug
+    (wall-clock dependence, cross-task shared state, unseeded RNG...)."""
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalize a ``--jobs`` value: None/0 means one worker per core."""
+    if jobs is None or jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    return jobs
+
+
+def default_chunk_size(n_tasks: int, jobs: int) -> int:
+    """Chunked scheduling: ~4 chunks per worker amortizes IPC overhead
+    while keeping the tail balanced."""
+    return max(1, n_tasks // (jobs * 4))
+
+
+@dataclass
+class FanoutReport:
+    """What one :func:`execute_tasks` call actually did."""
+
+    total: int = 0
+    executed: int = 0
+    cached: int = 0
+    jobs: int = 1
+    cache_stored: int = 0
+    notes: list[str] = field(default_factory=list)
+
+    def describe(self) -> str:
+        return (f"{self.total} tasks: {self.executed} executed "
+                f"({self.jobs} jobs), {self.cached} from cache")
+
+
+def execute_tasks(
+    specs: Sequence[Any],
+    worker: Callable[[Any], Any],
+    *,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    key_fn: Optional[Callable[[Any], str]] = None,
+    encode: Optional[Callable[[Any], dict]] = None,
+    decode: Optional[Callable[[dict], Any]] = None,
+    chunk_size: Optional[int] = None,
+    report: Optional[FanoutReport] = None,
+) -> list[Any]:
+    """Run ``worker`` over ``specs``; results in spec order.
+
+    ``jobs <= 1`` runs inline (no pool, no pickling) — that is the
+    reference serial path the determinism guard compares against.  With a
+    cache, each spec is first looked up under ``key_fn(spec)``; hits are
+    ``decode``d from disk, misses are executed and ``encode``d back.
+    """
+    if cache is not None and (key_fn is None or encode is None
+                              or decode is None):
+        raise ValueError("cache requires key_fn, encode and decode")
+    jobs = resolve_jobs(jobs)
+    if report is None:
+        report = FanoutReport()
+    report.total += len(specs)
+    report.jobs = jobs
+
+    outcomes: list[Any] = [None] * len(specs)
+    pending: list[tuple[int, Any, Optional[str]]] = []
+    for i, spec in enumerate(specs):
+        if cache is not None:
+            key = key_fn(spec)
+            hit = cache.get(key)
+            if hit is not None:
+                outcomes[i] = decode(hit)
+                report.cached += 1
+                continue
+            pending.append((i, spec, key))
+        else:
+            pending.append((i, spec, None))
+
+    if pending:
+        todo = [spec for _, spec, _ in pending]
+        if jobs <= 1 or len(todo) == 1:
+            fresh = [worker(spec) for spec in todo]
+        else:
+            chunk = chunk_size or default_chunk_size(len(todo), jobs)
+            with ProcessPoolExecutor(max_workers=min(jobs, len(todo))) as pool:
+                fresh = list(pool.map(worker, todo, chunksize=chunk))
+        for (i, _, key), outcome in zip(pending, fresh):
+            outcomes[i] = outcome
+            if cache is not None and key is not None:
+                cache.put(key, encode(outcome))
+                report.cache_stored += 1
+        report.executed += len(fresh)
+    return outcomes
+
+
+def assert_fanout_deterministic(
+    specs: Sequence[Any],
+    worker: Callable[[Any], Any],
+    digest_of: Callable[[Any], str],
+    *,
+    jobs: int = 2,
+    chunk_size: Optional[int] = None,
+) -> list[str]:
+    """The determinism guard: run ``specs`` serially *and* through the
+    process pool, compare per-task run digests, and raise
+    :class:`DeterminismError` on the first divergence.  Returns the
+    (verified) digests.
+    """
+    serial = [digest_of(o) for o in execute_tasks(specs, worker, jobs=1)]
+    fanned = [digest_of(o) for o in execute_tasks(
+        specs, worker, jobs=jobs, chunk_size=chunk_size)]
+    for i, (a, b) in enumerate(zip(serial, fanned)):
+        if a != b:
+            raise DeterminismError(
+                f"task {i}: serial digest {a[:16]}... != "
+                f"parallel digest {b[:16]}... (jobs={jobs}) — "
+                f"spec {specs[i]!r}"
+            )
+    return serial

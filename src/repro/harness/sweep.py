@@ -6,6 +6,12 @@ that every rack can still reach every other rack (a folded-Clos with
 redundancy >= 2 keeps physical connectivity under any single interface
 failure, so any unreachable pair is a protocol bug — a blackhole the
 paper's four hand-picked TCs would never catch).
+
+Each failure point is an independent task (its own World, its own seed),
+so the sweep fans out across worker processes via
+:mod:`repro.harness.parallel` and converged points are replayed from the
+on-disk :mod:`result cache <repro.harness.cache>`.  Every point carries a
+run digest; serial and parallel execution produce byte-identical results.
 """
 
 from __future__ import annotations
@@ -15,12 +21,15 @@ from typing import Iterable, Optional
 
 from repro.sim.units import SECOND
 from repro.topology.clos import ClosParams, ClosTopology, TIER_SERVER
+from repro.harness.cache import ResultCache, task_key
+from repro.harness.digest import run_digest
 from repro.harness.experiments import (
     StackKind,
     StackTimers,
     build_and_converge,
     detection_bound_us,
 )
+from repro.harness.parallel import FanoutReport, execute_tasks
 from repro.harness.pathtrace import trace_path
 
 
@@ -40,6 +49,26 @@ class SweepResult:
     @property
     def ok(self) -> bool:
         return not self.unreachable
+
+
+@dataclass(frozen=True)
+class SweepPointSpec:
+    """One sweep task: everything a worker process needs (picklable)."""
+
+    params: ClosParams
+    kind: StackKind
+    seed: int
+    timers: StackTimers
+    point: FailurePoint
+    reconverge_margin_us: int
+
+
+@dataclass
+class SweepOutcome:
+    """A sweep point's result plus its determinism fingerprint."""
+
+    result: SweepResult
+    digest: str
 
 
 def fabric_failure_points(topo: ClosTopology) -> list[FailurePoint]:
@@ -81,6 +110,109 @@ def check_all_pairs(
     return checked, unreachable
 
 
+# ----------------------------------------------------------------------
+# one sweep point = one task (the parallel worker; must stay top-level
+# so ProcessPoolExecutor can pickle it)
+# ----------------------------------------------------------------------
+def run_sweep_point(spec: SweepPointSpec) -> SweepOutcome:
+    """Build a fresh world, fail one interface, verify all-pairs
+    reachability, and fingerprint the run."""
+    world, topo, deployment = build_and_converge(
+        spec.params, spec.kind, spec.seed, spec.timers)
+    point = spec.point
+    topo.node(point.node).interfaces[point.interface].set_admin(False)
+    world.run_for(detection_bound_us(spec.kind, spec.timers)
+                  + spec.reconverge_margin_us)
+    checked, unreachable = check_all_pairs(deployment, topo)
+    result = SweepResult(point=point, pairs_checked=checked,
+                         unreachable=unreachable)
+    digest = run_digest(world.trace, _result_payload(result))
+    return SweepOutcome(result=result, digest=digest)
+
+
+def _result_payload(result: SweepResult) -> dict:
+    return {
+        "point": [result.point.node, result.point.interface,
+                  result.point.peer],
+        "pairs_checked": result.pairs_checked,
+        "unreachable": [list(u) for u in result.unreachable],
+    }
+
+
+def sweep_point_key(spec: SweepPointSpec) -> str:
+    """Cache key: the full content of the task, nothing ambient."""
+    return task_key(
+        "sweep-point",
+        params=spec.params,
+        kind=spec.kind,
+        seed=spec.seed,
+        timers=spec.timers,
+        point=spec.point,
+        reconverge_margin_us=spec.reconverge_margin_us,
+    )
+
+
+def encode_sweep_outcome(outcome: SweepOutcome) -> dict:
+    return {**_result_payload(outcome.result), "digest": outcome.digest}
+
+
+def decode_sweep_outcome(payload: dict) -> SweepOutcome:
+    result = SweepResult(
+        point=FailurePoint(*payload["point"]),
+        pairs_checked=payload["pairs_checked"],
+        unreachable=[tuple(u) for u in payload["unreachable"]],
+    )
+    return SweepOutcome(result=result, digest=payload["digest"])
+
+
+# ----------------------------------------------------------------------
+# the sweep driver
+# ----------------------------------------------------------------------
+def sweep_specs(
+    params: ClosParams,
+    kind: StackKind,
+    seed: int = 0,
+    timers: Optional[StackTimers] = None,
+    points: Optional[list[FailurePoint]] = None,
+    reconverge_margin_us: int = 1 * SECOND,
+) -> list[SweepPointSpec]:
+    """Expand a sweep into its independent per-point tasks."""
+    if timers is None:
+        timers = StackTimers()
+    if points is None:
+        # probe build to enumerate the failure points
+        world, topo, _ = build_and_converge(params, kind, seed, timers)
+        points = fabric_failure_points(topo)
+    return [
+        SweepPointSpec(params=params, kind=kind, seed=seed, timers=timers,
+                       point=point,
+                       reconverge_margin_us=reconverge_margin_us)
+        for point in points
+    ]
+
+
+def single_failure_sweep_outcomes(
+    params: ClosParams,
+    kind: StackKind,
+    seed: int = 0,
+    timers: Optional[StackTimers] = None,
+    points: Optional[list[FailurePoint]] = None,
+    reconverge_margin_us: int = 1 * SECOND,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    report: Optional[FanoutReport] = None,
+) -> list[SweepOutcome]:
+    """The sweep with digests: fan out over ``jobs`` worker processes,
+    replaying already-converged points from ``cache`` when given."""
+    specs = sweep_specs(params, kind, seed, timers, points,
+                        reconverge_margin_us)
+    return execute_tasks(
+        specs, run_sweep_point, jobs=jobs, cache=cache,
+        key_fn=sweep_point_key, encode=encode_sweep_outcome,
+        decode=decode_sweep_outcome, report=report,
+    )
+
+
 def single_failure_sweep(
     params: ClosParams,
     kind: StackKind,
@@ -88,24 +220,15 @@ def single_failure_sweep(
     timers: Optional[StackTimers] = None,
     points: Optional[list[FailurePoint]] = None,
     reconverge_margin_us: int = 1 * SECOND,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
 ) -> list[SweepResult]:
     """Run the sweep; one fresh world per failure point."""
-    if timers is None:
-        timers = StackTimers()
-    results = []
-    if points is None:
-        # probe build to enumerate the failure points
-        world, topo, _ = build_and_converge(params, kind, seed, timers)
-        points = fabric_failure_points(topo)
-    for point in points:
-        world, topo, deployment = build_and_converge(params, kind, seed,
-                                                     timers)
-        topo.node(point.node).interfaces[point.interface].set_admin(False)
-        world.run_for(detection_bound_us(kind, timers) + reconverge_margin_us)
-        checked, unreachable = check_all_pairs(deployment, topo)
-        results.append(SweepResult(point=point, pairs_checked=checked,
-                                   unreachable=unreachable))
-    return results
+    outcomes = single_failure_sweep_outcomes(
+        params, kind, seed, timers, points, reconverge_margin_us,
+        jobs=jobs, cache=cache,
+    )
+    return [o.result for o in outcomes]
 
 
 def summarize(results: list[SweepResult]) -> str:

@@ -1,0 +1,218 @@
+"""Edge-case tests for the on-disk result cache.
+
+Covers the hazards that actually bite content-addressed caches: hash
+instability across processes (PYTHONHASHSEED), missing invalidation when
+timer bundles change, and corrupted or torn entries poisoning reruns.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.bfd.session import BfdTimers
+from repro.core.config import MtpTimers
+from repro.sim.units import MILLISECOND
+from repro.topology.clos import two_pod_params
+from repro.harness.cache import CACHE_SCHEMA, ResultCache, task_key
+from repro.harness.experiments import (
+    ExperimentResult,
+    ExperimentOutcome,
+    StackKind,
+    StackTimers,
+    decode_experiment_outcome,
+    encode_experiment_outcome,
+)
+from repro.harness.parallel import FanoutReport, execute_tasks
+from repro.harness.sweep import (
+    FailurePoint,
+    decode_sweep_outcome,
+    encode_sweep_outcome,
+    run_sweep_point,
+    summarize,
+    sweep_point_key,
+    sweep_specs,
+)
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def _spec():
+    return sweep_specs(two_pod_params(), StackKind.MTP,
+                       points=[FailurePoint("L-1-1", "eth1", "S-1-1")])[0]
+
+
+# ----------------------------------------------------------------------
+# key stability and invalidation
+# ----------------------------------------------------------------------
+def test_task_key_stable_across_processes():
+    """The key must not depend on per-process hash randomization."""
+    program = (
+        "from repro.topology.clos import two_pod_params\n"
+        "from repro.harness.experiments import StackKind\n"
+        "from repro.harness.sweep import (FailurePoint, sweep_point_key,\n"
+        "                                 sweep_specs)\n"
+        "spec = sweep_specs(two_pod_params(), StackKind.MTP,\n"
+        "                   points=[FailurePoint('L-1-1', 'eth1', 'S-1-1')])[0]\n"
+        "print(sweep_point_key(spec))\n"
+    )
+    keys = set()
+    for hashseed in ("0", "12345"):
+        env = dict(os.environ, PYTHONHASHSEED=hashseed,
+                   PYTHONPATH=SRC + os.pathsep
+                   + os.environ.get("PYTHONPATH", ""))
+        out = subprocess.run([sys.executable, "-c", program], env=env,
+                             capture_output=True, text=True, check=True)
+        keys.add(out.stdout.strip())
+    keys.add(sweep_point_key(_spec()))
+    assert len(keys) == 1, keys
+
+
+def test_key_invalidates_when_timers_change():
+    spec = _spec()
+    base = sweep_point_key(spec)
+    for timers in (
+        StackTimers(mtp=MtpTimers(hello_us=25 * MILLISECOND,
+                                  dead_us=50 * MILLISECOND)),
+        StackTimers(bfd=BfdTimers(tx_interval_us=300 * MILLISECOND)),
+    ):
+        changed = sweep_specs(two_pod_params(), StackKind.MTP,
+                              timers=timers, points=[spec.point])[0]
+        assert sweep_point_key(changed) != base
+
+
+def test_key_invalidates_on_every_component():
+    spec = _spec()
+    base = sweep_point_key(spec)
+    variants = [
+        sweep_specs(two_pod_params(tors_per_pod=3), StackKind.MTP,
+                    points=[spec.point])[0],
+        sweep_specs(two_pod_params(), StackKind.BGP,
+                    points=[spec.point])[0],
+        sweep_specs(two_pod_params(), StackKind.MTP, seed=1,
+                    points=[spec.point])[0],
+        sweep_specs(two_pod_params(), StackKind.MTP,
+                    points=[FailurePoint("L-1-1", "eth2", "S-1-2")])[0],
+    ]
+    assert base not in {sweep_point_key(v) for v in variants}
+
+
+def test_task_key_family_namespacing():
+    assert task_key("a", x=1) != task_key("b", x=1)
+    assert task_key("a", x=1) == task_key("a", x=1)
+
+
+# ----------------------------------------------------------------------
+# corruption recovery
+# ----------------------------------------------------------------------
+def _entry_path(cache: ResultCache, key: str) -> Path:
+    return cache.root / key[:2] / f"{key}.json"
+
+
+def test_corrupted_entry_dropped_and_recomputed(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put("ab" * 32, {"v": 1})
+    path = _entry_path(cache, "ab" * 32)
+    path.write_text("{ not json")
+    assert cache.get("ab" * 32) is None
+    assert cache.dropped == 1
+    assert not path.exists()  # poisoned entry removed
+    cache.put("ab" * 32, {"v": 2})
+    assert cache.get("ab" * 32) == {"v": 2}
+
+
+def test_truncated_entry_treated_as_corrupt(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put("cd" * 32, {"v": 1})
+    path = _entry_path(cache, "cd" * 32)
+    path.write_text(path.read_text()[:10])  # torn write
+    assert cache.get("cd" * 32) is None
+    assert cache.dropped == 1
+
+
+def test_key_mismatch_treated_as_corrupt(tmp_path):
+    """An entry copied/renamed to the wrong slot must never be served."""
+    cache = ResultCache(tmp_path)
+    cache.put("ef" * 32, {"v": 1})
+    good = _entry_path(cache, "ef" * 32)
+    evil = _entry_path(cache, "ff" * 32)
+    evil.parent.mkdir(parents=True, exist_ok=True)
+    evil.write_text(good.read_text())
+    assert cache.get("ff" * 32) is None
+    assert cache.dropped == 1
+
+
+def test_schema_bump_invalidates(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put("0a" * 32, {"v": 1})
+    path = _entry_path(cache, "0a" * 32)
+    entry = json.loads(path.read_text())
+    entry["schema"] = CACHE_SCHEMA + 1
+    path.write_text(json.dumps(entry))
+    assert cache.get("0a" * 32) is None
+
+
+def test_miss_then_hit_counters(tmp_path):
+    cache = ResultCache(tmp_path)
+    assert cache.get("12" * 32) is None
+    cache.put("12" * 32, {"v": 1})
+    assert cache.get("12" * 32) == {"v": 1}
+    assert (cache.hits, cache.misses) == (1, 1)
+    assert len(cache) == 1
+    assert "12" * 32 in cache
+
+
+# ----------------------------------------------------------------------
+# payload round-trips
+# ----------------------------------------------------------------------
+def test_sweep_outcome_roundtrip():
+    outcome = run_sweep_point(_spec())
+    restored = decode_sweep_outcome(encode_sweep_outcome(outcome))
+    assert restored.result == outcome.result
+    assert restored.digest == outcome.digest
+    # tuple-ness of unreachable entries survives, so summaries stay
+    # byte-identical between fresh and replayed sweeps
+    assert summarize([restored.result]) == summarize([outcome.result])
+
+
+def test_experiment_outcome_roundtrip():
+    result = ExperimentResult(
+        kind=StackKind.BGP_BFD, case="TC3", seed=5, convergence_us=1234,
+        control_bytes=97, update_count=1, blast_routers=["S-1-1", "T-1"],
+    )
+    outcome = ExperimentOutcome(result=result, digest="d" * 64)
+    restored = decode_experiment_outcome(encode_experiment_outcome(outcome))
+    assert restored.result == result
+    assert restored.digest == outcome.digest
+
+
+# ----------------------------------------------------------------------
+# cache + runner integration
+# ----------------------------------------------------------------------
+def test_execute_tasks_replays_from_cache(tmp_path):
+    cache = ResultCache(tmp_path)
+    specs = sweep_specs(two_pod_params(), StackKind.MTP)[:2]
+    first = FanoutReport()
+    out1 = execute_tasks(specs, run_sweep_point, cache=cache,
+                         key_fn=sweep_point_key,
+                         encode=encode_sweep_outcome,
+                         decode=decode_sweep_outcome, report=first)
+    assert (first.executed, first.cached) == (2, 0)
+    second = FanoutReport()
+    out2 = execute_tasks(specs, run_sweep_point, cache=cache,
+                         key_fn=sweep_point_key,
+                         encode=encode_sweep_outcome,
+                         decode=decode_sweep_outcome, report=second)
+    assert (second.executed, second.cached) == (0, 2)
+    assert [o.digest for o in out1] == [o.digest for o in out2]
+    assert [o.result for o in out1] == [o.result for o in out2]
+
+
+def test_execute_tasks_requires_full_codec(tmp_path):
+    with pytest.raises(ValueError):
+        execute_tasks([], run_sweep_point, cache=ResultCache(tmp_path))

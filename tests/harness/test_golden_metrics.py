@@ -1,0 +1,80 @@
+"""Golden regression tests for the paper's headline metrics.
+
+Freezes the 2-PoD TC results behind ``benchmarks/results/fig4_*`` and
+``fig5_*`` (convergence time, blast radius, control overhead) into
+tier-1: the simulator is bit-for-bit deterministic per seed, so these
+exact values must reproduce on every machine — any drift means a
+behavioral change in the engine, a protocol stack or the experiment
+harness, and must fail fast here rather than silently shift the
+regenerated figures.
+
+If a change is *intentional* (a protocol fix, a new counting rule),
+regenerate: ``PYTHONPATH=src python -m pytest benchmarks -k "fig4 or
+fig5"`` and update GOLDEN below alongside the result files.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.topology.clos import two_pod_params
+from repro.harness.experiments import StackKind, run_failure_experiment
+
+# (stack, case) -> (convergence_us, control_bytes, update_count,
+#                   blast_routers) at seed 0 — the values behind
+# benchmarks/results/fig4_convergence_2pod.txt and
+# fig5_blast_radius_2pod.txt.
+BLAST_WIDE_MTP = ["L-1-2", "L-2-1", "L-2-2", "S-1-1", "S-2-1", "T-1", "T-2"]
+BLAST_WIDE_BGP = ["L-1-1", "L-1-2", "L-2-1", "L-2-2", "S-1-1", "S-2-1",
+                  "T-1", "T-2"]
+BLAST_NARROW_MTP = ["S-2-1", "T-1"]
+BLAST_NARROW_BGP = ["S-1-1", "S-2-1", "T-1"]
+
+GOLDEN = {
+    (StackKind.MTP, "TC1"): (95107, 123, 7, BLAST_WIDE_MTP),
+    (StackKind.MTP, "TC2"): (612, 123, 7, BLAST_WIDE_MTP),
+    (StackKind.MTP, "TC3"): (94695, 18, 1, BLAST_NARROW_MTP),
+    (StackKind.MTP, "TC4"): (200, 18, 1, BLAST_NARROW_MTP),
+    (StackKind.BGP, "TC1"): (2290827, 651, 7, BLAST_WIDE_BGP),
+    (StackKind.BGP, "TC2"): (1012, 651, 7, BLAST_WIDE_BGP),
+    (StackKind.BGP, "TC3"): (2290322, 97, 1, BLAST_NARROW_BGP),
+    (StackKind.BGP, "TC4"): (0, 97, 1, BLAST_NARROW_BGP),
+    (StackKind.BGP_BFD, "TC1"): (237422, 651, 7, BLAST_WIDE_BGP),
+    (StackKind.BGP_BFD, "TC2"): (1012, 651, 7, BLAST_WIDE_BGP),
+    (StackKind.BGP_BFD, "TC3"): (238177, 97, 1, BLAST_NARROW_BGP),
+    (StackKind.BGP_BFD, "TC4"): (0, 97, 1, BLAST_NARROW_BGP),
+}
+
+
+@pytest.mark.parametrize("kind,case", sorted(
+    GOLDEN, key=lambda k: (k[0].value, k[1])))
+def test_golden_2pod_failure_metrics(kind, case):
+    expected_conv, expected_bytes, expected_updates, expected_blast = \
+        GOLDEN[(kind, case)]
+    result = run_failure_experiment(two_pod_params(), kind, case, seed=0)
+    assert result.convergence_us == expected_conv, (
+        f"fig4 drift: {kind.value} {case} convergence "
+        f"{result.convergence_us} us != golden {expected_conv} us")
+    assert result.control_bytes == expected_bytes, (
+        f"fig6 drift: {kind.value} {case} control overhead")
+    assert result.update_count == expected_updates
+    assert result.blast_routers == expected_blast, (
+        f"fig5 drift: {kind.value} {case} blast radius")
+
+
+def test_golden_shape_invariants():
+    """The paper's qualitative ordering, restated over the golden table
+    so a wholesale regeneration still has to respect the physics."""
+    conv = {k: v[0] for k, v in GOLDEN.items()}
+    blast = {k: len(v[3]) for k, v in GOLDEN.items()}
+    for case in ("TC1", "TC3"):
+        assert conv[(StackKind.MTP, case)] \
+            < conv[(StackKind.BGP_BFD, case)] \
+            < conv[(StackKind.BGP, case)]
+    for kind in (StackKind.MTP, StackKind.BGP, StackKind.BGP_BFD):
+        # pod-internal failures (TC3/TC4) touch fewer routers than
+        # spine-facing ones (TC1/TC2)
+        assert blast[(kind, "TC3")] < blast[(kind, "TC1")]
+        # MR-MTP's blast radius never exceeds BGP's
+        for case in ("TC1", "TC2", "TC3", "TC4"):
+            assert blast[(StackKind.MTP, case)] <= blast[(kind, case)]
