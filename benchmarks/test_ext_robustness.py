@@ -3,9 +3,10 @@
 Beyond the paper's four hand-picked test cases: fail *every* fabric
 interface (32 points in the 2-PoD), reconverge, and path-trace every
 rack pair.  A folded-Clos keeps physical connectivity under any single
-interface failure, so the sweep must find zero blackholes for both
-protocol stacks — and it reports how much reconvergence "budget" each
-stack needs for that to hold.
+interface failure, so the sweep must find zero blackholes for every
+registered stack — the three paper stacks plus the registry-only
+variants (per-packet spray, single-path BGP) — and it reports how much
+reconvergence "budget" each stack needs for that to hold.
 """
 
 from __future__ import annotations
@@ -13,24 +14,26 @@ from __future__ import annotations
 import pytest
 
 from repro.topology.clos import two_pod_params
-from repro.harness.experiments import StackKind
+from repro.stacks import get_stack
 from repro.harness.sweep import single_failure_sweep, summarize
 
 from conftest import emit
 
+STACKS = ("mtp", "bgp", "bgp-bfd", "mtp-spray", "bgp-nomultipath")
 
-@pytest.mark.parametrize("kind", [StackKind.MTP, StackKind.BGP,
-                                  StackKind.BGP_BFD])
-def test_ext_robustness_sweep(benchmark, results_dir, kind, jobs):
+
+@pytest.mark.parametrize("stack", STACKS)
+def test_ext_robustness_sweep(benchmark, results_dir, stack, jobs):
+    display = get_stack(stack).display
     results = benchmark.pedantic(
-        lambda: single_failure_sweep(two_pod_params(), kind, jobs=jobs),
+        lambda: single_failure_sweep(two_pod_params(), stack, jobs=jobs),
         rounds=1, iterations=1,
     )
     blackholes = sum(len(r.unreachable) for r in results)
-    rows = [[kind.value, len(results),
+    rows = [[display, len(results),
              sum(r.pairs_checked for r in results), blackholes]]
-    emit(results_dir, f"ext_robustness_{kind.name.lower()}",
-         f"Extension — exhaustive single-failure sweep, 2-PoD, {kind.value}",
+    emit(results_dir, f"ext_robustness_{stack.replace('-', '_')}",
+         f"Extension — exhaustive single-failure sweep, 2-PoD, {display}",
          ["stack", "failure points", "pair checks", "blackholes"], rows,
          note=summarize(results))
     assert blackholes == 0, summarize(results)

@@ -13,8 +13,9 @@ import argparse
 from repro.bgp.config import BgpTimers
 from repro.core.config import MtpTimers
 from repro.harness.analysis import compare_stacks, speedup
-from repro.harness.experiments import StackKind, StackTimers
+from repro.harness.experiments import StackTimers
 from repro.harness.report import render_table
+from repro.stacks import get_stack
 from repro.topology.clos import two_pod_params
 
 
@@ -35,11 +36,11 @@ def main() -> None:
     for case in ("TC1", "TC2"):
         studies = compare_stacks(params, case, seeds, timers=timers)
         rows = [
-            [kind.value,
+            [get_stack(name).display,
              str(study.convergence_ms),
              str(study.control_bytes),
              str(study.blast_radius)]
-            for kind, study in studies.items()
+            for name, study in studies.items()
         ]
         print(render_table(
             f"{case} over {args.seeds} seeds, jitter {args.jitter:.0%} "
@@ -47,13 +48,13 @@ def main() -> None:
             ["stack", "conv ms", "ctrl B", "blast"],
             rows,
         ))
-        mtp = studies[StackKind.MTP]
+        mtp = studies["mtp"]
         if mtp.convergence_ms.mean > 0:
             print(f"  MR-MTP convergence speedup: "
-                  f"{speedup(studies[StackKind.BGP].convergence_ms, mtp.convergence_ms):.1f}x vs BGP, "
-                  f"{speedup(studies[StackKind.BGP_BFD].convergence_ms, mtp.convergence_ms):.1f}x vs BGP+BFD")
+                  f"{speedup(studies['bgp'].convergence_ms, mtp.convergence_ms):.1f}x vs BGP, "
+                  f"{speedup(studies['bgp-bfd'].convergence_ms, mtp.convergence_ms):.1f}x vs BGP+BFD")
         print(f"  MR-MTP overhead advantage : "
-              f"{speedup(studies[StackKind.BGP].control_bytes, mtp.control_bytes):.1f}x fewer bytes than BGP")
+              f"{speedup(studies['bgp'].control_bytes, mtp.control_bytes):.1f}x fewer bytes than BGP")
         print()
 
 

@@ -3,18 +3,22 @@
 The CLI wraps the experiment harness for interactive use — the
 simulator-era equivalent of the paper's FABRIC automation entry points:
 
+    python -m repro stacks                            # list registered stacks
     python -m repro topo     --pods 4                 # build & validate
     python -m repro converge --stack mtp --pods 2     # converge, show state
     python -m repro fail     --stack bgp-bfd --case TC1
     python -m repro fail     --stack mtp --case TC1 --runs 5 --jobs 4
-    python -m repro loss     --stack mtp --case TC2 --direction near
+    python -m repro loss     --stack mtp-spray --case TC2 --direction near
     python -m repro config   --stack bgp --pods 4     # Listing 1/2 output
     python -m repro sweep    --stack mtp --jobs 4     # robustness sweep
 
-``--jobs N`` fans independent runs out over N worker processes (0 = one
-per core); results are byte-identical to the serial path (the engine is
-deterministic per seed).  Sweeps and batches reuse an on-disk result
-cache keyed by a content hash of the task; ``--no-cache`` disables it.
+``--stack`` accepts any name in the stack registry (see ``stacks``);
+registering a new stack via :func:`repro.stacks.register_stack` makes it
+available to every command here without CLI changes.  ``--jobs N`` fans
+independent runs out over N worker processes (0 = one per core); results
+are byte-identical to the serial path (the engine is deterministic per
+seed).  Sweeps and batches reuse an on-disk result cache keyed by a
+content hash of the task; ``--no-cache`` disables it.
 """
 
 from __future__ import annotations
@@ -24,27 +28,19 @@ import statistics
 import sys
 import time
 
-from repro.sim.units import MILLISECOND, SECOND
+from repro.sim.units import SECOND
 from repro.topology.clos import ClosParams, build_folded_clos
 from repro.topology.validate import validate_topology
 from repro.net.world import World
+from repro.stacks import available_stacks, get_stack, resolve_spec
 from repro.harness.cache import ResultCache, default_cache_root
 from repro.harness.experiments import (
-    StackKind,
-    StackTimers,
     build_and_converge,
-    detection_bound_us,
     run_experiment_batch,
     run_failure_experiment,
     run_packet_loss_experiment,
 )
 from repro.harness.parallel import FanoutReport
-
-_STACKS = {
-    "mtp": StackKind.MTP,
-    "bgp": StackKind.BGP,
-    "bgp-bfd": StackKind.BGP_BFD,
-}
 
 
 def _add_topo_args(parser: argparse.ArgumentParser) -> None:
@@ -55,6 +51,14 @@ def _add_topo_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--zones", type=int, default=1,
                         help=">1 adds the super-spine tier")
     parser.add_argument("--seed", type=int, default=0)
+
+
+def _add_stack_arg(parser: argparse.ArgumentParser) -> None:
+    """``--stack`` with choices and help derived from the registry, so
+    validation and documentation can never drift from what is runnable."""
+    parser.add_argument(
+        "--stack", choices=available_stacks(), required=True,
+        help="protocol stack to deploy (see the `stacks` command)")
 
 
 def _jobs_type(value: str) -> int:
@@ -89,6 +93,18 @@ def _params(args) -> ClosParams:
     )
 
 
+def cmd_stacks(args) -> int:
+    for name in available_stacks():
+        definition = get_stack(name)
+        params = ", ".join(
+            f"{k}={v!r}"
+            for k, v in sorted(definition.default_params.items()))
+        suffix = f"  [{params}]" if params else ""
+        print(f"{name:<17} {definition.display:<26} "
+              f"{definition.description}{suffix}")
+    return 0
+
+
 def cmd_topo(args) -> int:
     world = World(seed=args.seed)
     topo = build_folded_clos(_params(args), world=world)
@@ -106,27 +122,23 @@ def cmd_topo(args) -> int:
 
 
 def cmd_converge(args) -> int:
-    kind = _STACKS[args.stack]
-    world, topo, dep = build_and_converge(_params(args), kind, seed=args.seed)
-    print(f"{kind.value} converged at t = {world.sim.now / SECOND:.3f} s "
+    display = get_stack(args.stack).display
+    world, topo, dep = build_and_converge(_params(args), args.stack,
+                                          seed=args.seed)
+    print(f"{display} converged at t = {world.sim.now / SECOND:.3f} s "
           f"({world.sim.events_processed} events)\n")
     for name in args.show or (topo.aggs[0][0][0], topo.tops[0][0][0]):
-        if kind is StackKind.MTP:
-            print(dep.mtp_nodes[name].summary())
-        else:
-            print(dep.speakers[name].summary())
-            print("FIB:")
-            print(dep.stacks[name].table.render())
+        print(dep.describe_node(name))
         print()
     return 0
 
 
 def cmd_fail(args) -> int:
-    kind = _STACKS[args.stack]
+    display = get_stack(args.stack).display
     if args.runs <= 1:
-        result = run_failure_experiment(_params(args), kind, args.case,
+        result = run_failure_experiment(_params(args), args.stack, args.case,
                                         seed=args.seed)
-        print(f"{kind.value}, {args.case}:")
+        print(f"{display}, {args.case}:")
         print(f"  convergence time : {result.convergence_ms:.2f} ms")
         print(f"  control overhead : {result.control_bytes} B in "
               f"{result.update_count} update messages")
@@ -135,11 +147,11 @@ def cmd_fail(args) -> int:
         return 0
     report = FanoutReport()
     results = run_experiment_batch(
-        _params(args), kind, args.case, n_runs=args.runs,
+        _params(args), args.stack, args.case, n_runs=args.runs,
         base_seed=args.seed, jobs=args.jobs, cache=_cache_from(args),
         report=report,
     )
-    print(f"{kind.value}, {args.case}, {args.runs} runs "
+    print(f"{display}, {args.case}, {args.runs} runs "
           f"({report.describe()}):")
     for r in results:
         print(f"  seed {r.seed:>20d}: conv {r.convergence_ms:9.2f} ms, "
@@ -157,11 +169,10 @@ def cmd_sweep(args) -> int:
         summarize,
     )
 
-    kind = _STACKS[args.stack]
     report = FanoutReport()
     t0 = time.perf_counter()
     outcomes = single_failure_sweep_outcomes(
-        _params(args), kind, seed=args.seed, jobs=args.jobs,
+        _params(args), args.stack, seed=args.seed, jobs=args.jobs,
         cache=_cache_from(args), report=report,
     )
     elapsed = time.perf_counter() - t0
@@ -176,12 +187,12 @@ def cmd_sweep(args) -> int:
 
 
 def cmd_loss(args) -> int:
-    kind = _STACKS[args.stack]
+    display = get_stack(args.stack).display
     result = run_packet_loss_experiment(
-        _params(args), kind, args.case, direction=args.direction,
+        _params(args), args.stack, args.case, direction=args.direction,
         seed=args.seed, rate_pps=args.rate,
     )
-    print(f"{kind.value}, {args.case}, sender {args.direction} "
+    print(f"{display}, {args.case}, sender {args.direction} "
           f"({args.rate} pps, flow src port {result.src_port}):")
     print(f"  sent={result.sent} received={result.received} "
           f"lost={result.lost} dup={result.duplicated} "
@@ -190,20 +201,16 @@ def cmd_loss(args) -> int:
 
 
 def cmd_config(args) -> int:
-    kind = _STACKS[args.stack]
+    definition = get_stack(args.stack)
+    if definition.render_config is None:
+        print(f"stack {args.stack!r} does not render configuration",
+              file=sys.stderr)
+        return 2
+    spec = resolve_spec(args.stack)
     world = World(seed=args.seed, trace_enabled=False)
     topo = build_folded_clos(_params(args), world=world)
-    if kind is StackKind.MTP:
-        from repro.core.config import MtpGlobalConfig
-
-        print(MtpGlobalConfig.from_topology(topo).render_json())
-        return 0
-    from repro.harness.deploy import deploy_bgp
-
-    dep = deploy_bgp(topo, bfd=(kind is StackKind.BGP_BFD))
-    node = args.node or topo.tops[0][0][0]
-    print(f"! configuration for {node}")
-    print("\n".join(dep.speakers[node].config.config_lines()))
+    print(definition.render_config(topo, timers=spec.timers, node=args.node,
+                                   **spec.params_dict()))
     return 0
 
 
@@ -214,19 +221,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    p_stacks = sub.add_parser("stacks", help="list registered stack plugins")
+    p_stacks.set_defaults(func=cmd_stacks)
+
     p_topo = sub.add_parser("topo", help="build and validate a fabric")
     _add_topo_args(p_topo)
     p_topo.set_defaults(func=cmd_topo)
 
     p_conv = sub.add_parser("converge", help="converge a protocol stack")
     _add_topo_args(p_conv)
-    p_conv.add_argument("--stack", choices=_STACKS, required=True)
+    _add_stack_arg(p_conv)
     p_conv.add_argument("--show", nargs="*", help="nodes to display")
     p_conv.set_defaults(func=cmd_converge)
 
     p_fail = sub.add_parser("fail", help="run a failure experiment")
     _add_topo_args(p_fail)
-    p_fail.add_argument("--stack", choices=_STACKS, required=True)
+    _add_stack_arg(p_fail)
     p_fail.add_argument("--case", choices=("TC1", "TC2", "TC3", "TC4"),
                         default="TC1")
     p_fail.add_argument("--runs", type=int, default=1,
@@ -238,7 +248,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep = sub.add_parser(
         "sweep", help="exhaustive single-failure robustness sweep")
     _add_topo_args(p_sweep)
-    p_sweep.add_argument("--stack", choices=_STACKS, required=True)
+    _add_stack_arg(p_sweep)
     p_sweep.add_argument("--digests", action="store_true",
                          help="print each point's run digest")
     _add_fanout_args(p_sweep)
@@ -246,7 +256,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_loss = sub.add_parser("loss", help="run a packet-loss experiment")
     _add_topo_args(p_loss)
-    p_loss.add_argument("--stack", choices=_STACKS, required=True)
+    _add_stack_arg(p_loss)
     p_loss.add_argument("--case", choices=("TC1", "TC2", "TC3", "TC4"),
                         default="TC2")
     p_loss.add_argument("--direction", choices=("near", "far"),
@@ -256,7 +266,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_cfg = sub.add_parser("config", help="render Listing 1/2 configuration")
     _add_topo_args(p_cfg)
-    p_cfg.add_argument("--stack", choices=_STACKS, required=True)
+    _add_stack_arg(p_cfg)
     p_cfg.add_argument("--node", help="router to render (BGP only)")
     p_cfg.set_defaults(func=cmd_config)
 

@@ -24,9 +24,19 @@ from repro.harness.metrics import (
 from repro.harness.experiments import (
     ExperimentResult,
     StackKind,
+    StackSpec,
+    StackTimers,
     run_experiment_batch,
     run_failure_experiment,
     run_packet_loss_experiment,
+)
+from repro.stacks import (
+    Deployment,
+    StackDefinition,
+    available_stacks,
+    get_stack,
+    register_stack,
+    resolve_spec,
 )
 from repro.harness.cache import ResultCache, default_cache_root, task_key
 from repro.harness.digest import run_digest, stable_seed, trace_digest
@@ -53,6 +63,14 @@ __all__ = [
     "snapshot_table_change_counts",
     "ExperimentResult",
     "StackKind",
+    "StackSpec",
+    "StackTimers",
+    "Deployment",
+    "StackDefinition",
+    "available_stacks",
+    "get_stack",
+    "register_stack",
+    "resolve_spec",
     "run_experiment_batch",
     "run_failure_experiment",
     "run_packet_loss_experiment",

@@ -10,14 +10,13 @@ experiment results.
 from __future__ import annotations
 
 import statistics
-from dataclasses import dataclass, fields
-from typing import Callable, Iterable, Optional, Sequence
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
 
 from repro.topology.clos import ClosParams
+from repro.stacks import StackTimers, resolve_spec
 from repro.harness.experiments import (
     ExperimentResult,
-    StackKind,
-    StackTimers,
     run_failure_experiment,
 )
 
@@ -52,7 +51,7 @@ class Aggregate:
 class FailureStudy:
     """Aggregated failure-experiment metrics for one (stack, case)."""
 
-    kind: StackKind
+    stack: str
     case: str
     convergence_ms: Aggregate
     control_bytes: Aggregate
@@ -62,18 +61,19 @@ class FailureStudy:
 
 def failure_study(
     params: ClosParams,
-    kind: StackKind,
+    stack,
     case: str,
     seeds: Iterable[int],
     timers: Optional[StackTimers] = None,
 ) -> FailureStudy:
     """Run the failure experiment once per seed and aggregate."""
+    spec = resolve_spec(stack, timers)
     runs = [
-        run_failure_experiment(params, kind, case, seed=seed, timers=timers)
+        run_failure_experiment(params, spec, case, seed=seed)
         for seed in seeds
     ]
     return FailureStudy(
-        kind=kind,
+        stack=spec.name,
         case=case,
         convergence_ms=Aggregate.of([r.convergence_ms for r in runs]),
         control_bytes=Aggregate.of([float(r.control_bytes) for r in runs]),
@@ -93,12 +93,13 @@ def compare_stacks(
     params: ClosParams,
     case: str,
     seeds: Iterable[int],
-    kinds: Sequence[StackKind] = (StackKind.MTP, StackKind.BGP,
-                                  StackKind.BGP_BFD),
+    stacks: Sequence = ("mtp", "bgp", "bgp-bfd"),
     timers: Optional[StackTimers] = None,
-) -> dict[StackKind, FailureStudy]:
+) -> dict:
+    """One :func:`failure_study` per stack, keyed by the caller's own
+    handles (names, specs, or legacy enum members all work)."""
     seeds = list(seeds)
     return {
-        kind: failure_study(params, kind, case, seeds, timers)
-        for kind in kinds
+        stack: failure_study(params, stack, case, seeds, timers)
+        for stack in stacks
     }

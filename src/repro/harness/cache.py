@@ -2,8 +2,9 @@
 
 Each cache entry is one converged experiment task — a sweep point or a
 seeded failure run — keyed by a SHA-256 content hash of everything that
-determines its outcome: topology parameters, stack kind, the full timer
-bundle, the failure point/case, the seed and a schema version.  Because
+determines its outcome: topology parameters, the stack's registry name
+and canonical deploy params, the full timer bundle, the failure
+point/case, the seed and a schema version.  Because
 the simulator is deterministic, a key collision-free hit can be replayed
 instead of re-run: repeated sweeps and CI reruns skip converged points.
 
@@ -28,7 +29,9 @@ from repro.harness.digest import canonical_json, payload_digest
 
 # Bump whenever the semantics of cached payloads change (new metric
 # fields, different counting rules...): old entries then miss cleanly.
-CACHE_SCHEMA = 1
+# 2: stack-plugin refactor — keys derive from registry name + canonical
+#    params (not the StackKind enum); experiment payloads store "stack".
+CACHE_SCHEMA = 2
 
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 

@@ -11,7 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.stack.addresses import Ipv4Network
+from repro.stack.addresses import Ipv4Address, Ipv4Network
+from repro.routing.ecmp import FlowKey
 from repro.routing.table import NextHop, Route
 from repro.iputil.stack import IpStack
 from repro.iputil.tcp import TcpService
@@ -22,7 +23,10 @@ from repro.bgp.speaker import BgpSpeaker
 from repro.core.config import MtpGlobalConfig, MtpTimers
 from repro.core.protocol import MtpNode
 from repro.core.vid import WideDerivation
+from repro.stacks.base import ConfigCost, TableStats
 from repro.topology.clos import ClosTopology, TIER_SERVER
+
+MAX_TRACE_HOPS = 32
 
 
 @dataclass
@@ -83,10 +87,15 @@ class BgpDeployment:
     stacks: dict[str, IpStack]
     servers: dict[str, ServerHost]
     uses_bfd: bool
+    timers: BgpTimers = field(default_factory=BgpTimers)
 
     def start(self) -> None:
         for speaker in self.speakers.values():
             speaker.start()
+
+    def ready(self) -> bool:
+        return (self.all_established() and self.fib_complete()
+                and self.all_bfd_up())
 
     def all_established(self) -> bool:
         return all(s.all_established() for s in self.speakers.values())
@@ -116,6 +125,47 @@ class BgpDeployment:
                 if stack.table.lookup(prefix.host(1)) is None:
                     return False
         return True
+
+    def keepalive_period_us(self) -> int:
+        return self.timers.keepalive_us
+
+    def detection_bound_us(self) -> int:
+        # the hold timer bounds detection even with BFD enabled (BFD
+        # merely usually beats it)
+        return self.timers.hold_us
+
+    def table_stats(self, node: str) -> TableStats:
+        table = self.stacks[node].table
+        return TableStats(entries=len(table),
+                          memory_bytes=table.memory_bytes(),
+                          rendered=table.render())
+
+    def config_cost(self) -> ConfigCost:
+        total = sum(len(speaker.config.config_lines())
+                    for speaker in self.speakers.values())
+        return ConfigCost(total_lines=total, documents=len(self.speakers))
+
+    def describe_node(self, node: str) -> str:
+        return (self.speakers[node].summary() + "\nFIB:\n"
+                + self.stacks[node].table.render())
+
+    def trace_fabric_path(self, path: list[str], dst_ip: Ipv4Address,
+                          dst_host: str, flow: FlowKey) -> list[str]:
+        current = path[-1]
+        for _ in range(MAX_TRACE_HOPS):
+            stack = self.stacks[current]
+            nexthop = stack.table.select_nexthop(dst_ip, flow)
+            if nexthop is None:
+                raise RuntimeError(f"path dead-ends at {current} (no route)")
+            iface = self.topo.node(current).interfaces[nexthop.interface]
+            peer = iface.peer()
+            if peer is None:
+                raise RuntimeError(f"{current}:{nexthop.interface} uncabled")
+            path.append(peer.node.name)
+            if peer.node.name == dst_host:
+                return path
+            current = peer.node.name
+        raise RuntimeError(f"path exceeds {MAX_TRACE_HOPS} hops: {path}")
 
 
 def deploy_bgp(
@@ -175,7 +225,7 @@ def deploy_bgp(
         )
     servers = deploy_servers(topo)
     return BgpDeployment(topo=topo, speakers=speakers, stacks=stacks,
-                         servers=servers, uses_bfd=bfd)
+                         servers=servers, uses_bfd=bfd, timers=timers)
 
 
 # ----------------------------------------------------------------------
@@ -188,10 +238,14 @@ class MtpDeployment:
     tor_stacks: dict[str, IpStack]
     servers: dict[str, ServerHost]
     config: MtpGlobalConfig
+    timers: MtpTimers = field(default_factory=MtpTimers)
 
     def start(self) -> None:
         for mtp in self.mtp_nodes.values():
             mtp.start()
+
+    def ready(self) -> bool:
+        return self.trees_complete()
 
     def forwarding_tables(self) -> dict[str, object]:
         return {name: mtp.table for name, mtp in self.mtp_nodes.items()}
@@ -204,8 +258,6 @@ class MtpDeployment:
         meshed-tree invariant of paper section III.B)."""
         all_roots = set(self.topo.tor_vid_seed.values())
         uppermost = self.topo.all_supers() or self.topo.all_tops()
-        if self.topo.params.zones > 1:
-            uppermost = self.topo.all_supers()
         for name in uppermost:
             if self.mtp_nodes[name].table.roots() != all_roots:
                 return False
@@ -213,6 +265,50 @@ class MtpDeployment:
         return all(
             self.mtp_nodes[t].own_root is not None for t in self.topo.all_tors()
         )
+
+    def keepalive_period_us(self) -> int:
+        return self.timers.hello_us
+
+    def detection_bound_us(self) -> int:
+        return self.timers.dead_us
+
+    def table_stats(self, node: str) -> TableStats:
+        table = self.mtp_nodes[node].table
+        return TableStats(entries=table.entry_count(),
+                          memory_bytes=table.memory_bytes(),
+                          rendered=table.render())
+
+    def config_cost(self) -> ConfigCost:
+        # one fabric-wide JSON document configures every router
+        return ConfigCost(total_lines=len(self.config.config_lines()),
+                          documents=1)
+
+    def describe_node(self, node: str) -> str:
+        return self.mtp_nodes[node].summary()
+
+    def trace_fabric_path(self, path: list[str], dst_ip: Ipv4Address,
+                          dst_host: str, flow: FlowKey) -> list[str]:
+        # at the source ToR the packet is locally encapsulated (no MTP
+        # ingress port), matching MtpNode._intercept_ip
+        ingress: Optional[str] = None
+        current = path[-1]
+        dst_root = self.mtp_nodes[current].derivation.root_for_address(dst_ip)
+        for _ in range(MAX_TRACE_HOPS):
+            mtp = self.mtp_nodes[current]
+            if mtp.tier == 1 and mtp.own_root == dst_root:
+                # destination ToR: rack delivery
+                path.append(dst_host)
+                return path
+            egress = mtp.decide_data_port(dst_root, flow, ingress_port=ingress)
+            if egress is None:
+                raise RuntimeError(f"path dead-ends at {current} (no VID path)")
+            peer = self.topo.node(current).interfaces[egress].peer()
+            if peer is None:
+                raise RuntimeError(f"{current}:{egress} uncabled")
+            path.append(peer.node.name)
+            current = peer.node.name
+            ingress = peer.name
+        raise RuntimeError(f"path exceeds {MAX_TRACE_HOPS} hops: {path}")
 
 
 def deploy_mtp(
@@ -249,4 +345,4 @@ def deploy_mtp(
     servers = deploy_servers(topo)
     return MtpDeployment(topo=topo, mtp_nodes=mtp_nodes,
                          tor_stacks=tor_stacks, servers=servers,
-                         config=config)
+                         config=config, timers=timers)

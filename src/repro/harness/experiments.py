@@ -1,85 +1,97 @@
 """Experiment drivers: one call = one paper measurement.
 
 Each run builds a fresh :class:`World` (the "reserve a new slice"
-analogue), deploys one of the paper's three stacks, converges from cold,
+analogue), deploys a registered protocol stack, converges from cold,
 injects a TC failure, and computes the section-V metrics.  Multi-seed
 batches average the results as the paper averages over runs.
+
+Stacks are selected through :mod:`repro.stacks` — a registry name
+(``"mtp"``, ``"bgp-bfd"``, ``"mtp-spray"``...), a prepared
+:class:`~repro.stacks.StackSpec`, or the legacy ``StackKind`` enum all
+work; nothing in this module branches on which stack is running, so
+registering a new stack makes every driver here handle it.
 """
 
 from __future__ import annotations
 
 import statistics
-from dataclasses import dataclass, field
-from enum import Enum
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.sim.units import MILLISECOND, SECOND
 from repro.net.world import World
-from repro.topology.clos import ClosParams, ClosTopology, build_folded_clos
-from repro.bfd.session import BfdTimers
-from repro.bgp.config import BgpTimers
-from repro.core.config import MtpTimers
-from repro.harness.deploy import (
-    BgpDeployment,
-    MtpDeployment,
-    deploy_bgp,
-    deploy_mtp,
+from repro.topology.clos import ClosParams, build_folded_clos
+from repro.stacks import (
+    StackKind,
+    StackSpec,
+    StackTimers,
+    get_stack,
+    resolve_spec,
 )
 from repro.harness.convergence import ConvergenceMonitor, converge_from_cold
 from repro.harness.failures import FailureInjector
-from repro.harness.metrics import blast_radius, snapshot_table_change_counts
+from repro.harness.metrics import (
+    KeepaliveBreakdown,
+    blast_radius,
+    keepalive_overhead,
+    snapshot_table_change_counts,
+)
 from repro.harness.pathtrace import find_crossing_flow
-from repro.harness.metrics import KeepaliveBreakdown, keepalive_overhead
 from repro.net.capture import Capture
 from repro.traffic.generator import ReceiverAnalyzer, TrafficSender
 
-
-class StackKind(Enum):
-    """The paper's three protocol stacks (section VII)."""
-
-    MTP = "MR-MTP"
-    BGP = "BGP/ECMP"
-    BGP_BFD = "BGP/ECMP/BFD"
-
-
-@dataclass
-class StackTimers:
-    """Timer bundle; defaults are the paper's section VI.F values."""
-
-    bgp: BgpTimers = field(default_factory=BgpTimers)
-    bfd: BfdTimers = field(default_factory=BfdTimers)
-    mtp: MtpTimers = field(default_factory=MtpTimers)
+__all__ = [
+    "StackKind",  # legacy re-export; the enum itself lives in repro.stacks
+    "StackSpec",
+    "StackTimers",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "ExperimentOutcome",
+    "PacketLossResult",
+    "ConfigCostResult",
+    "TableSizeResult",
+    "build_and_converge",
+    "detection_bound_us",
+    "run_failure_experiment",
+    "run_experiment_batch",
+    "run_experiment_task",
+    "run_packet_loss_experiment",
+    "run_keepalive_experiment",
+    "run_config_cost_experiment",
+    "run_table_size_experiment",
+    "average_failure_runs",
+    "experiment_task_key",
+    "encode_experiment_outcome",
+    "decode_experiment_outcome",
+]
 
 
 def build_and_converge(
     params: ClosParams,
-    kind: StackKind,
+    stack,
     seed: int = 0,
     timers: Optional[StackTimers] = None,
     trace_enabled: bool = True,
     max_converge_us: int = 60 * SECOND,
 ):
-    """Fresh world + topology + converged deployment."""
-    if timers is None:
-        timers = StackTimers()
+    """Fresh world + topology + converged deployment of any registered
+    stack (name, spec, definition, or legacy enum)."""
+    spec = resolve_spec(stack, timers)
+    definition = get_stack(spec.name)
     world = World(seed=seed, trace_enabled=trace_enabled)
     topo = build_folded_clos(params, world=world)
-    if kind is StackKind.MTP:
-        deployment = deploy_mtp(topo, timers=timers.mtp)
-        check = deployment.trees_complete
-    else:
-        deployment = deploy_bgp(
-            topo,
-            bfd=(kind is StackKind.BGP_BFD),
-            timers=timers.bgp,
-            bfd_timers=timers.bfd,
-        )
-        check = lambda: (deployment.all_established()
-                         and deployment.fib_complete()
-                         and deployment.all_bfd_up())
+    deployment = definition.build(topo, spec)
     deployment.start()
-    converge_from_cold(world, deployment, check, max_time_us=max_converge_us)
+    converge_from_cold(world, deployment, deployment.ready,
+                       max_time_us=max_converge_us)
     return world, topo, deployment
+
+
+def detection_bound_us(stack, timers: Optional[StackTimers] = None) -> int:
+    """Upper bound on failure-detection latency: the far end of a
+    one-sided failure reacts only after this long."""
+    spec = resolve_spec(stack, timers)
+    return get_stack(spec.name).detection_bound_us(spec.timers)
 
 
 # ----------------------------------------------------------------------
@@ -87,7 +99,7 @@ def build_and_converge(
 # ----------------------------------------------------------------------
 @dataclass
 class ExperimentResult:
-    kind: StackKind
+    stack: str  # registry name
     case: str
     seed: int
     convergence_us: int
@@ -103,20 +115,15 @@ class ExperimentResult:
     def convergence_ms(self) -> float:
         return self.convergence_us / MILLISECOND
 
-
-def detection_bound_us(kind: StackKind, timers: StackTimers) -> int:
-    """Upper bound on failure-detection latency: the far end of a
-    one-sided failure reacts only after this long."""
-    if kind is StackKind.MTP:
-        return timers.mtp.dead_us
-    # BGP's hold timer is the bound even with BFD enabled (BFD merely
-    # usually beats it); waiting for it costs only simulated time.
-    return timers.bgp.hold_us
+    @property
+    def display(self) -> str:
+        """The stack's human-readable name (e.g. ``MR-MTP``)."""
+        return get_stack(self.stack).display
 
 
 def run_failure_experiment(
     params: ClosParams,
-    kind: StackKind,
+    stack,
     case_name: str,
     seed: int = 0,
     timers: Optional[StackTimers] = None,
@@ -134,13 +141,11 @@ def run_failure_experiment(
     remote-detection convergence times vary across runs (the hold/dead
     timer runs from the *last received* keepalive).
     """
-    if timers is None:
-        timers = StackTimers()
-    world, topo, deployment = build_and_converge(params, kind, seed, timers)
+    spec = resolve_spec(stack, timers)
+    world, topo, deployment = build_and_converge(params, spec, seed)
     if settle_us is None:
         phase_rng = world.rng.stream("experiment-settle")
-        period = (timers.mtp.hello_us if kind is StackKind.MTP
-                  else timers.bgp.keepalive_us)
+        period = deployment.keepalive_period_us()
         settle_us = int(phase_rng.uniform(0, 2 * period))
     world.run_for(settle_us)
     case = topo.failure_cases()[case_name]
@@ -152,12 +157,12 @@ def run_failure_experiment(
     monitor.run_until_quiet(
         quiet_us=quiet_us,
         max_wait_us=max_wait_us,
-        min_wait_us=detection_bound_us(kind, timers) + quiet_us,
+        min_wait_us=deployment.detection_bound_us() + quiet_us,
     )
     convergence = monitor.convergence_time_us()
     blast = blast_radius(before, deployment.forwarding_tables())
     result = ExperimentResult(
-        kind=kind,
+        stack=spec.name,
         case=case_name,
         seed=seed,
         convergence_us=convergence if convergence is not None else 0,
@@ -179,10 +184,9 @@ class ExperimentSpec:
     """One failure run as an independent, picklable task."""
 
     params: ClosParams
-    kind: StackKind
+    stack: StackSpec
     case_name: str
     seed: int
-    timers: StackTimers
     quiet_us: int = 1 * SECOND
     max_wait_us: int = 30 * SECOND
 
@@ -200,7 +204,7 @@ def run_experiment_task(spec: ExperimentSpec) -> ExperimentOutcome:
     from repro.harness.digest import run_digest
 
     result, world = run_failure_experiment(
-        spec.params, spec.kind, spec.case_name, spec.seed, spec.timers,
+        spec.params, spec.stack, spec.case_name, spec.seed,
         quiet_us=spec.quiet_us, max_wait_us=spec.max_wait_us,
         return_world=True,
     )
@@ -210,7 +214,7 @@ def run_experiment_task(spec: ExperimentSpec) -> ExperimentOutcome:
 
 def _experiment_payload(result: ExperimentResult) -> dict:
     return {
-        "kind": result.kind.value,
+        "stack": result.stack,
         "case": result.case,
         "seed": result.seed,
         "convergence_us": result.convergence_us,
@@ -226,10 +230,11 @@ def experiment_task_key(spec: ExperimentSpec) -> str:
     return task_key(
         "failure-run",
         params=spec.params,
-        kind=spec.kind,
+        stack=spec.stack.name,
+        stack_params=spec.stack.params,
+        timers=spec.stack.timers,
         case=spec.case_name,
         seed=spec.seed,
-        timers=spec.timers,
         quiet_us=spec.quiet_us,
         max_wait_us=spec.max_wait_us,
     )
@@ -241,7 +246,7 @@ def encode_experiment_outcome(outcome: ExperimentOutcome) -> dict:
 
 def decode_experiment_outcome(payload: dict) -> ExperimentOutcome:
     result = ExperimentResult(
-        kind=StackKind(payload["kind"]),
+        stack=payload["stack"],
         case=payload["case"],
         seed=payload["seed"],
         convergence_us=payload["convergence_us"],
@@ -254,7 +259,7 @@ def decode_experiment_outcome(payload: dict) -> ExperimentOutcome:
 
 def run_experiment_batch(
     params: ClosParams,
-    kind: StackKind,
+    stack,
     case_name: str,
     seeds: Optional[tuple[int, ...]] = None,
     timers: Optional[StackTimers] = None,
@@ -275,8 +280,7 @@ def run_experiment_batch(
     from repro.harness.digest import stable_seed
     from repro.harness.parallel import execute_tasks
 
-    if timers is None:
-        timers = StackTimers()
+    spec = resolve_spec(stack, timers)
     if seeds is None:
         if n_runs is None:
             seeds = (0, 1, 2)
@@ -284,8 +288,8 @@ def run_experiment_batch(
             seeds = tuple(stable_seed("failure-batch", base_seed, i)
                           for i in range(n_runs))
     specs = [
-        ExperimentSpec(params=params, kind=kind, case_name=case_name,
-                       seed=seed, timers=timers)
+        ExperimentSpec(params=params, stack=spec, case_name=case_name,
+                       seed=seed)
         for seed in seeds
     ]
     outcomes = execute_tasks(
@@ -298,7 +302,7 @@ def run_experiment_batch(
 
 def average_failure_runs(
     params: ClosParams,
-    kind: StackKind,
+    stack,
     case_name: str,
     seeds: tuple[int, ...] = (0, 1, 2),
     timers: Optional[StackTimers] = None,
@@ -306,10 +310,11 @@ def average_failure_runs(
     cache=None,
 ) -> ExperimentResult:
     """Multi-run average, as the paper's plotted values are."""
-    runs = run_experiment_batch(params, kind, case_name, seeds, timers,
+    spec = resolve_spec(stack, timers)
+    runs = run_experiment_batch(params, spec, case_name, seeds,
                                 jobs=jobs, cache=cache)
     return ExperimentResult(
-        kind=kind,
+        stack=spec.name,
         case=case_name,
         seed=-1,
         convergence_us=round(statistics.mean(r.convergence_us for r in runs)),
@@ -324,7 +329,7 @@ def average_failure_runs(
 # ----------------------------------------------------------------------
 @dataclass
 class PacketLossResult:
-    kind: StackKind
+    stack: str
     case: str
     direction: str
     seed: int
@@ -341,7 +346,7 @@ class PacketLossResult:
 
 def run_packet_loss_experiment(
     params: ClosParams,
-    kind: StackKind,
+    stack,
     case_name: str,
     direction: str = "near",
     seed: int = 0,
@@ -356,7 +361,8 @@ def run_packet_loss_experiment(
     ``far``: the sender is at the far end (Fig. 8)."""
     if direction not in ("near", "far"):
         raise ValueError(f"direction must be near/far, got {direction!r}")
-    world, topo, deployment = build_and_converge(params, kind, seed, timers)
+    spec = resolve_spec(stack, timers)
+    world, topo, deployment = build_and_converge(params, spec, seed)
     case = topo.failure_cases()[case_name]
 
     near_tor = topo.tors[0][0][0]
@@ -390,7 +396,7 @@ def run_packet_loss_experiment(
     world.run(until=start_at + lead_us + tail_us + drain_us)
     report = analyzer.report(sender)
     return PacketLossResult(
-        kind=kind,
+        stack=spec.name,
         case=case_name,
         direction=direction,
         seed=seed,
@@ -407,7 +413,7 @@ def run_packet_loss_experiment(
 # ----------------------------------------------------------------------
 def run_keepalive_experiment(
     params: ClosParams,
-    kind: StackKind,
+    stack,
     seed: int = 0,
     timers: Optional[StackTimers] = None,
     window_us: int = 5 * SECOND,
@@ -415,7 +421,7 @@ def run_keepalive_experiment(
     """Steady-state liveness traffic on the first ToR-agg link: a
     converged, idle fabric observed through a capture for ``window_us``
     (the paper's Wireshark methodology in section VII.F)."""
-    world, topo, deployment = build_and_converge(params, kind, seed, timers)
+    world, topo, deployment = build_and_converge(params, stack, seed, timers)
     link = world.find_link(topo.tors[0][0][0], topo.aggs[0][0][0])
     capture = Capture()
     capture.attach((link.end_a, link.end_b))
@@ -429,7 +435,7 @@ def run_keepalive_experiment(
 # ----------------------------------------------------------------------
 @dataclass
 class ConfigCostResult:
-    kind: StackKind
+    stack: str
     routers: int
     total_lines: int
     documents: int  # config artifacts an operator maintains
@@ -441,27 +447,21 @@ class ConfigCostResult:
 
 def run_config_cost_experiment(
     params: ClosParams,
-    kind: StackKind,
+    stack,
     seed: int = 0,
     timers: Optional[StackTimers] = None,
 ) -> ConfigCostResult:
     """Count the configuration an operator writes: per-router FRR configs
     for BGP (Listing 1) vs one fabric-wide JSON for MR-MTP (Listing 2)."""
+    spec = resolve_spec(stack, timers)
     world, topo, deployment = build_and_converge(
-        params, kind, seed, timers, trace_enabled=False,
+        params, spec, seed, trace_enabled=False,
         max_converge_us=120 * SECOND,
     )
-    n_routers = len(topo.routers())
-    if kind is StackKind.MTP:
-        lines = len(deployment.config.config_lines())
-        return ConfigCostResult(kind=kind, routers=n_routers,
-                                total_lines=lines, documents=1)
-    total = sum(
-        len(speaker.config.config_lines())
-        for speaker in deployment.speakers.values()
-    )
-    return ConfigCostResult(kind=kind, routers=n_routers,
-                            total_lines=total, documents=n_routers)
+    cost = deployment.config_cost()
+    return ConfigCostResult(stack=spec.name, routers=len(topo.routers()),
+                            total_lines=cost.total_lines,
+                            documents=cost.documents)
 
 
 # ----------------------------------------------------------------------
@@ -469,7 +469,7 @@ def run_config_cost_experiment(
 # ----------------------------------------------------------------------
 @dataclass
 class TableSizeResult:
-    kind: StackKind
+    stack: str
     node: str
     entries: int
     memory_bytes: int
@@ -478,25 +478,21 @@ class TableSizeResult:
 
 def run_table_size_experiment(
     params: ClosParams,
-    kind: StackKind,
+    stack,
     seed: int = 0,
     timers: Optional[StackTimers] = None,
 ) -> dict[str, TableSizeResult]:
     """Converged forwarding state at one agg and one top spine — the
     comparison behind the paper's Listings 3 and 5."""
-    world, topo, deployment = build_and_converge(params, kind, seed, timers)
+    spec = resolve_spec(stack, timers)
+    world, topo, deployment = build_and_converge(params, spec, seed)
     results = {}
     for role, node_name in (("agg", topo.aggs[0][0][0]),
                             ("top", topo.tops[0][0][0]),
                             ("tor", topo.tors[0][0][0])):
-        if kind is StackKind.MTP:
-            table = deployment.mtp_nodes[node_name].table
-            entries = table.entry_count()
-        else:
-            table = deployment.stacks[node_name].table
-            entries = len(table)
+        stats = deployment.table_stats(node_name)
         results[role] = TableSizeResult(
-            kind=kind, node=node_name, entries=entries,
-            memory_bytes=table.memory_bytes(), rendered=table.render(),
+            stack=spec.name, node=node_name, entries=stats.entries,
+            memory_bytes=stats.memory_bytes, rendered=stats.rendered,
         )
     return results

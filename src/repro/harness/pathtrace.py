@@ -5,17 +5,19 @@ MR-MTP: VID-table / hashed-up decision) without sending packets.  The
 packet-loss experiments use this to pick a flow (source port) whose path
 crosses the link under test — the paper's test cases presuppose the
 failure sits on the measured traffic's path.
+
+Stack-agnostic: the per-hop decision replay lives on the deployment
+(:meth:`repro.stacks.Deployment.trace_fabric_path`), so any registered
+stack traces without changes here.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Optional
 
 from repro.stack.addresses import Ipv4Address
 from repro.stack.ipv4 import PROTO_UDP
 from repro.routing.ecmp import FlowKey
-from repro.topology.clos import ClosTopology
-from repro.harness.deploy import BgpDeployment, MtpDeployment
 
 MAX_HOPS = 32
 
@@ -27,7 +29,7 @@ def _flow(src_ip: Ipv4Address, dst_ip: Ipv4Address,
 
 
 def trace_path(
-    deployment: Union[BgpDeployment, MtpDeployment],
+    deployment,
     src_host: str,
     dst_host: str,
     src_port: int,
@@ -43,56 +45,7 @@ def trace_path(
     server = topo.node(src_host)
     tor_iface = server.interfaces["eth1"].peer()
     path = [src_host, tor_iface.node.name]
-    if isinstance(deployment, BgpDeployment):
-        return _trace_bgp(deployment, path, dst_ip, dst_host, flow)
-    # at the source ToR the packet is locally encapsulated (no MTP
-    # ingress port), matching MtpNode._intercept_ip
-    return _trace_mtp(deployment, path, dst_ip, dst_host, flow, ingress=None)
-
-
-def _trace_bgp(deployment: BgpDeployment, path: list[str],
-               dst_ip: Ipv4Address, dst_host: str, flow: FlowKey) -> list[str]:
-    topo = deployment.topo
-    current = path[-1]
-    for _ in range(MAX_HOPS):
-        stack = deployment.stacks[current]
-        nexthop = stack.table.select_nexthop(dst_ip, flow)
-        if nexthop is None:
-            raise RuntimeError(f"path dead-ends at {current} (no route)")
-        iface = topo.node(current).interfaces[nexthop.interface]
-        peer = iface.peer()
-        if peer is None:
-            raise RuntimeError(f"{current}:{nexthop.interface} uncabled")
-        path.append(peer.node.name)
-        if peer.node.name == dst_host:
-            return path
-        current = peer.node.name
-    raise RuntimeError(f"path exceeds {MAX_HOPS} hops: {path}")
-
-
-def _trace_mtp(deployment: MtpDeployment, path: list[str],
-               dst_ip: Ipv4Address, dst_host: str, flow: FlowKey,
-               ingress: str) -> list[str]:
-    topo = deployment.topo
-    current = path[-1]
-    first = deployment.mtp_nodes[current]
-    dst_root = first.derivation.root_for_address(dst_ip)
-    for _ in range(MAX_HOPS):
-        mtp = deployment.mtp_nodes[current]
-        if mtp.tier == 1 and mtp.own_root == dst_root:
-            # destination ToR: rack delivery
-            path.append(dst_host)
-            return path
-        egress = mtp.decide_data_port(dst_root, flow, ingress_port=ingress)
-        if egress is None:
-            raise RuntimeError(f"path dead-ends at {current} (no VID path)")
-        peer = topo.node(current).interfaces[egress].peer()
-        if peer is None:
-            raise RuntimeError(f"{current}:{egress} uncabled")
-        path.append(peer.node.name)
-        current = peer.node.name
-        ingress = peer.name
-    raise RuntimeError(f"path exceeds {MAX_HOPS} hops: {path}")
+    return deployment.trace_fabric_path(path, dst_ip, dst_host, flow)
 
 
 def path_crosses_link(path: list[str], node_a: str, node_b: str) -> bool:

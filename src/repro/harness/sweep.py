@@ -12,6 +12,9 @@ so the sweep fans out across worker processes via
 :mod:`repro.harness.parallel` and converged points are replayed from the
 on-disk :mod:`result cache <repro.harness.cache>`.  Every point carries a
 run digest; serial and parallel execution produce byte-identical results.
+
+The sweep is stack-agnostic: any stack registered with
+:mod:`repro.stacks` sweeps without changes here.
 """
 
 from __future__ import annotations
@@ -21,14 +24,10 @@ from typing import Iterable, Optional
 
 from repro.sim.units import SECOND
 from repro.topology.clos import ClosParams, ClosTopology, TIER_SERVER
+from repro.stacks import StackSpec, StackTimers, resolve_spec
 from repro.harness.cache import ResultCache, task_key
 from repro.harness.digest import run_digest
-from repro.harness.experiments import (
-    StackKind,
-    StackTimers,
-    build_and_converge,
-    detection_bound_us,
-)
+from repro.harness.experiments import build_and_converge
 from repro.harness.parallel import FanoutReport, execute_tasks
 from repro.harness.pathtrace import trace_path
 
@@ -56,9 +55,8 @@ class SweepPointSpec:
     """One sweep task: everything a worker process needs (picklable)."""
 
     params: ClosParams
-    kind: StackKind
+    stack: StackSpec
     seed: int
-    timers: StackTimers
     point: FailurePoint
     reconverge_margin_us: int
 
@@ -118,10 +116,10 @@ def run_sweep_point(spec: SweepPointSpec) -> SweepOutcome:
     """Build a fresh world, fail one interface, verify all-pairs
     reachability, and fingerprint the run."""
     world, topo, deployment = build_and_converge(
-        spec.params, spec.kind, spec.seed, spec.timers)
+        spec.params, spec.stack, spec.seed)
     point = spec.point
     topo.node(point.node).interfaces[point.interface].set_admin(False)
-    world.run_for(detection_bound_us(spec.kind, spec.timers)
+    world.run_for(deployment.detection_bound_us()
                   + spec.reconverge_margin_us)
     checked, unreachable = check_all_pairs(deployment, topo)
     result = SweepResult(point=point, pairs_checked=checked,
@@ -140,13 +138,15 @@ def _result_payload(result: SweepResult) -> dict:
 
 
 def sweep_point_key(spec: SweepPointSpec) -> str:
-    """Cache key: the full content of the task, nothing ambient."""
+    """Cache key: the full content of the task, nothing ambient — the
+    stack enters as registry name + canonical params, never an enum."""
     return task_key(
         "sweep-point",
         params=spec.params,
-        kind=spec.kind,
+        stack=spec.stack.name,
+        stack_params=spec.stack.params,
+        timers=spec.stack.timers,
         seed=spec.seed,
-        timers=spec.timers,
         point=spec.point,
         reconverge_margin_us=spec.reconverge_margin_us,
     )
@@ -170,21 +170,20 @@ def decode_sweep_outcome(payload: dict) -> SweepOutcome:
 # ----------------------------------------------------------------------
 def sweep_specs(
     params: ClosParams,
-    kind: StackKind,
+    stack,
     seed: int = 0,
     timers: Optional[StackTimers] = None,
     points: Optional[list[FailurePoint]] = None,
     reconverge_margin_us: int = 1 * SECOND,
 ) -> list[SweepPointSpec]:
     """Expand a sweep into its independent per-point tasks."""
-    if timers is None:
-        timers = StackTimers()
+    spec = resolve_spec(stack, timers)
     if points is None:
         # probe build to enumerate the failure points
-        world, topo, _ = build_and_converge(params, kind, seed, timers)
+        world, topo, _ = build_and_converge(params, spec, seed)
         points = fabric_failure_points(topo)
     return [
-        SweepPointSpec(params=params, kind=kind, seed=seed, timers=timers,
+        SweepPointSpec(params=params, stack=spec, seed=seed,
                        point=point,
                        reconverge_margin_us=reconverge_margin_us)
         for point in points
@@ -193,7 +192,7 @@ def sweep_specs(
 
 def single_failure_sweep_outcomes(
     params: ClosParams,
-    kind: StackKind,
+    stack,
     seed: int = 0,
     timers: Optional[StackTimers] = None,
     points: Optional[list[FailurePoint]] = None,
@@ -204,7 +203,7 @@ def single_failure_sweep_outcomes(
 ) -> list[SweepOutcome]:
     """The sweep with digests: fan out over ``jobs`` worker processes,
     replaying already-converged points from ``cache`` when given."""
-    specs = sweep_specs(params, kind, seed, timers, points,
+    specs = sweep_specs(params, stack, seed, timers, points,
                         reconverge_margin_us)
     return execute_tasks(
         specs, run_sweep_point, jobs=jobs, cache=cache,
@@ -215,7 +214,7 @@ def single_failure_sweep_outcomes(
 
 def single_failure_sweep(
     params: ClosParams,
-    kind: StackKind,
+    stack,
     seed: int = 0,
     timers: Optional[StackTimers] = None,
     points: Optional[list[FailurePoint]] = None,
@@ -225,7 +224,7 @@ def single_failure_sweep(
 ) -> list[SweepResult]:
     """Run the sweep; one fresh world per failure point."""
     outcomes = single_failure_sweep_outcomes(
-        params, kind, seed, timers, points, reconverge_margin_us,
+        params, stack, seed, timers, points, reconverge_margin_us,
         jobs=jobs, cache=cache,
     )
     return [o.result for o in outcomes]

@@ -1,0 +1,46 @@
+"""Stack plugins: registry-driven protocol deployments.
+
+Importing this package registers the builtin stacks (``mtp``, ``bgp``,
+``bgp-bfd``) and the shipped variants (``mtp-spray``,
+``bgp-nomultipath``).  The harness, sweep, cache and CLI all select
+stacks through :func:`resolve_spec` / :func:`get_stack`; to add a
+scenario, call :func:`register_stack` — no harness changes required (see
+README, "Writing a stack plugin").
+"""
+
+from repro.stacks.base import (
+    ConfigCost,
+    Deployment,
+    StackDefinition,
+    StackSpec,
+    StackTimers,
+    TableStats,
+    canonical_params,
+)
+from repro.stacks.registry import (
+    UnknownStackError,
+    available_stacks,
+    get_stack,
+    register_stack,
+    resolve_spec,
+    unregister_stack,
+)
+from repro.stacks.builtin import StackKind
+from repro.stacks import variants as _variants  # noqa: F401  (registers)
+
+__all__ = [
+    "ConfigCost",
+    "Deployment",
+    "StackDefinition",
+    "StackSpec",
+    "StackKind",
+    "StackTimers",
+    "TableStats",
+    "UnknownStackError",
+    "available_stacks",
+    "canonical_params",
+    "get_stack",
+    "register_stack",
+    "resolve_spec",
+    "unregister_stack",
+]

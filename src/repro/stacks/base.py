@@ -1,0 +1,177 @@
+"""Stack-plugin substrate: the protocol every deployment implements.
+
+A *stack* is one routable control/data-plane bundle (the paper's MR-MTP,
+BGP/ECMP, BGP/ECMP/BFD — or any variant someone registers later).  The
+experiment harness never branches on which stack it is running; it talks
+to two abstractions only:
+
+* :class:`StackDefinition` — the registered plugin: how to deploy the
+  stack onto a built topology, its timer-derived bounds, and (optionally)
+  how to render operator configuration.
+* :class:`Deployment` — the structural protocol a deployed stack
+  satisfies: start, readiness, forwarding-table/update introspection,
+  liveness periods, per-node table statistics, config cost, path tracing.
+
+Specs (:class:`StackSpec`) are the picklable, canonical-JSON-able unit
+that crosses process boundaries and feeds the result-cache key: registry
+name + canonical parameter tuple + timer bundle.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Iterable,
+    Mapping,
+    Optional,
+    Protocol,
+    Union,
+    runtime_checkable,
+)
+
+from repro.bfd.session import BfdTimers
+from repro.bgp.config import BgpTimers
+from repro.core.config import MtpTimers
+
+
+@dataclass
+class StackTimers:
+    """Timer bundle; defaults are the paper's section VI.F values."""
+
+    bgp: BgpTimers = field(default_factory=BgpTimers)
+    bfd: BfdTimers = field(default_factory=BfdTimers)
+    mtp: MtpTimers = field(default_factory=MtpTimers)
+
+
+@dataclass(frozen=True)
+class TableStats:
+    """One node's forwarding-table size (Listings 3 and 5)."""
+
+    entries: int
+    memory_bytes: int
+    rendered: str
+
+
+@dataclass(frozen=True)
+class ConfigCost:
+    """Operator-written configuration: line count and artifact count."""
+
+    total_lines: int
+    documents: int
+
+
+@runtime_checkable
+class Deployment(Protocol):
+    """What the harness requires of a deployed stack.
+
+    Implementations additionally expose ``topo`` (the built topology) and
+    ``servers`` (name -> host with a ``udp`` service) as attributes; the
+    traffic experiments use both.
+    """
+
+    def start(self) -> None:
+        """Kick off every protocol instance (timers, hellos, sessions)."""
+        ...
+
+    def ready(self) -> bool:
+        """Cold-start convergence predicate: fully converged?"""
+        ...
+
+    def forwarding_tables(self) -> dict[str, Any]:
+        """name -> table with ``.change_count`` / ``.last_change_time``."""
+        ...
+
+    def update_categories(self) -> tuple[str, ...]:
+        """Trace categories that count as control-plane update traffic."""
+        ...
+
+    def keepalive_period_us(self) -> int:
+        """Steady-state liveness period (hello/keepalive interval)."""
+        ...
+
+    def detection_bound_us(self) -> int:
+        """Upper bound on one-sided failure-detection latency."""
+        ...
+
+    def table_stats(self, node: str) -> TableStats:
+        """Converged forwarding-state size of one node."""
+        ...
+
+    def config_cost(self) -> ConfigCost:
+        """Configuration an operator writes for this deployment."""
+        ...
+
+    def describe_node(self, node: str) -> str:
+        """Human-readable converged state of one node (CLI display)."""
+        ...
+
+    def trace_fabric_path(self, path: list[str], dst_ip: Any,
+                          dst_host: str, flow: Any) -> list[str]:
+        """Statically replay hop decisions from ``path[-1]`` (the source
+        ToR) to ``dst_host``; raises RuntimeError on dead ends/loops."""
+        ...
+
+
+ParamItems = Union[Mapping[str, Any], Iterable[tuple[str, Any]], None]
+
+
+def canonical_params(params: ParamItems) -> tuple[tuple[str, Any], ...]:
+    """Sort parameters into the canonical (key, value) tuple that cache
+    keys and specs carry — order-insensitive, picklable, JSON-able."""
+    if params is None:
+        return ()
+    items = params.items() if isinstance(params, Mapping) else params
+    return tuple(sorted((str(k), v) for k, v in items))
+
+
+@dataclass(frozen=True)
+class StackSpec:
+    """One stack selection, fully serialized: registry name, canonical
+    deploy parameters, and the timer bundle.  This — never an enum — is
+    what task specs pickle and what cache keys derive from."""
+
+    name: str
+    params: tuple[tuple[str, Any], ...] = ()
+    timers: StackTimers = field(default_factory=StackTimers)
+
+    def params_dict(self) -> dict[str, Any]:
+        return dict(self.params)
+
+    def with_timers(self, timers: StackTimers) -> "StackSpec":
+        return dataclasses.replace(self, timers=timers)
+
+
+@dataclass(frozen=True)
+class StackDefinition:
+    """A registered stack plugin.
+
+    ``deploy(topo, timers, **params)`` wires the stack onto a built
+    topology and returns a :class:`Deployment`.  The two timer accessors
+    map the shared :class:`StackTimers` bundle onto this stack's own
+    bounds so pre-deployment code (cache keys, wait budgets) never
+    branches per stack.  ``render_config`` (optional) renders the
+    operator-facing configuration without converging anything.
+    """
+
+    name: str
+    display: str
+    deploy: Callable[..., Deployment]
+    detection_bound_us: Callable[[StackTimers], int]
+    keepalive_period_us: Callable[[StackTimers], int]
+    description: str = ""
+    default_params: Mapping[str, Any] = field(default_factory=dict)
+    render_config: Optional[Callable[..., str]] = None
+
+    def spec(self, timers: Optional[StackTimers] = None,
+             **overrides: Any) -> StackSpec:
+        """A canonical spec for this stack (defaults + overrides)."""
+        merged = {**self.default_params, **overrides}
+        return StackSpec(name=self.name, params=canonical_params(merged),
+                         timers=timers if timers is not None else StackTimers())
+
+    def build(self, topo: Any, spec: StackSpec) -> Deployment:
+        """Deploy onto ``topo`` exactly as ``spec`` describes."""
+        return self.deploy(topo, spec.timers, **spec.params_dict())

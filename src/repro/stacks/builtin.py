@@ -1,0 +1,139 @@
+"""The paper's three stacks as registry plugins.
+
+This is the only module allowed to know about :class:`StackKind` — the
+legacy enum stays importable (and resolvable through the registry via
+its ``stack_name`` property) so existing studies keep running, but every
+harness layer goes through :mod:`repro.stacks.registry` instead of
+branching on it.
+
+The harness imports are deliberately deferred into the deploy callables:
+plugins must stay importable before :mod:`repro.harness` finishes
+initializing (the harness itself imports this package).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Any, Optional
+
+from repro.stacks.base import StackDefinition, StackTimers
+from repro.stacks.registry import register_stack
+
+
+class StackKind(Enum):
+    """The paper's three protocol stacks (section VII) — legacy handle;
+    new code should pass registry names (``"mtp"``, ``"bgp"``, ...)."""
+
+    MTP = "MR-MTP"
+    BGP = "BGP/ECMP"
+    BGP_BFD = "BGP/ECMP/BFD"
+
+    @property
+    def stack_name(self) -> str:
+        """The registry name this enum member resolves to."""
+        return _KIND_NAMES[self]
+
+
+_KIND_NAMES = {
+    StackKind.MTP: "mtp",
+    StackKind.BGP: "bgp",
+    StackKind.BGP_BFD: "bgp-bfd",
+}
+
+
+# ----------------------------------------------------------------------
+# deploy + config-render callables (the actual wiring lives in
+# repro.harness.deploy; these adapt the shared timer bundle onto it)
+# ----------------------------------------------------------------------
+def deploy_mtp_stack(topo: Any, timers: StackTimers, *,
+                     per_packet_spray: bool = False):
+    from repro.harness.deploy import deploy_mtp
+
+    return deploy_mtp(topo, timers=timers.mtp,
+                      per_packet_spray=per_packet_spray)
+
+
+def deploy_bgp_stack(topo: Any, timers: StackTimers, *, bfd: bool = False,
+                     multipath: bool = True):
+    from repro.harness.deploy import deploy_bgp
+
+    return deploy_bgp(topo, bfd=bfd, timers=timers.bgp,
+                      bfd_timers=timers.bfd, multipath=multipath)
+
+
+def render_mtp_config(topo: Any, timers: Optional[StackTimers] = None,
+                      node: Optional[str] = None, **params: Any) -> str:
+    """Listing 2: the single fabric-wide JSON document."""
+    from repro.core.config import MtpGlobalConfig
+
+    bundle = timers if timers is not None else StackTimers()
+    return MtpGlobalConfig.from_topology(topo, bundle.mtp).render_json()
+
+
+def render_bgp_config(topo: Any, timers: Optional[StackTimers] = None,
+                      node: Optional[str] = None, *, bfd: bool = False,
+                      multipath: bool = True) -> str:
+    """Listing 1: one router's FRR-style configuration."""
+    bundle = timers if timers is not None else StackTimers()
+    deployment = deploy_bgp_stack(topo, bundle, bfd=bfd,
+                                  multipath=multipath)
+    node = node or topo.tops[0][0][0]
+    lines = [f"! configuration for {node}"]
+    lines.extend(deployment.speakers[node].config.config_lines())
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# timer-bundle accessors.  BGP's hold timer is the detection bound even
+# with BFD enabled (BFD merely usually beats it); waiting for it costs
+# only simulated time.
+# ----------------------------------------------------------------------
+def _mtp_detection_bound_us(timers: StackTimers) -> int:
+    return timers.mtp.dead_us
+
+
+def _mtp_keepalive_period_us(timers: StackTimers) -> int:
+    return timers.mtp.hello_us
+
+
+def _bgp_detection_bound_us(timers: StackTimers) -> int:
+    return timers.bgp.hold_us
+
+
+def _bgp_keepalive_period_us(timers: StackTimers) -> int:
+    return timers.bgp.keepalive_us
+
+
+# ----------------------------------------------------------------------
+# the builtin registrations
+# ----------------------------------------------------------------------
+MTP = register_stack(StackDefinition(
+    name="mtp",
+    display="MR-MTP",
+    description="multi-root meshed-tree protocol, the paper's proposal",
+    deploy=deploy_mtp_stack,
+    detection_bound_us=_mtp_detection_bound_us,
+    keepalive_period_us=_mtp_keepalive_period_us,
+    render_config=render_mtp_config,
+))
+
+BGP = register_stack(StackDefinition(
+    name="bgp",
+    display="BGP/ECMP",
+    description="RFC 7938 eBGP with ECMP multipath, the paper's baseline",
+    deploy=deploy_bgp_stack,
+    detection_bound_us=_bgp_detection_bound_us,
+    keepalive_period_us=_bgp_keepalive_period_us,
+    render_config=render_bgp_config,
+))
+
+BGP_BFD = register_stack(StackDefinition(
+    name="bgp-bfd",
+    display="BGP/ECMP/BFD",
+    description="the BGP baseline with RFC 5880 async-mode BFD detection",
+    deploy=deploy_bgp_stack,
+    default_params={"bfd": True},
+    detection_bound_us=_bgp_detection_bound_us,
+    keepalive_period_us=_bgp_keepalive_period_us,
+    render_config=render_bgp_config,
+))

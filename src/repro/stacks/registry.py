@@ -1,0 +1,83 @@
+"""Global stack registry: name -> :class:`StackDefinition`.
+
+Adding a scenario means registering a definition — no harness, sweep,
+cache or CLI module changes.  Resolution accepts every spelling callers
+use (a registry name, a prepared :class:`StackSpec`, a definition, or a
+legacy object exposing ``stack_name`` such as the builtin ``StackKind``
+enum) and normalizes to a :class:`StackSpec`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.stacks.base import StackDefinition, StackSpec, StackTimers
+
+_REGISTRY: dict[str, StackDefinition] = {}
+
+
+class UnknownStackError(KeyError):
+    """Lookup of a name nobody registered."""
+
+
+def register_stack(definition: StackDefinition, *,
+                   replace: bool = False) -> StackDefinition:
+    """Register ``definition`` under its name; returns it so modules can
+    register at import time and keep the handle.
+
+    Duplicate names are rejected (two plugins silently shadowing each
+    other would corrupt cache keys); pass ``replace=True`` to override
+    deliberately (tests, interactive experimentation).
+    """
+    name = definition.name
+    if not name or name.strip() != name:
+        raise ValueError(f"invalid stack name {name!r}")
+    if not replace and name in _REGISTRY:
+        raise ValueError(
+            f"stack {name!r} is already registered; "
+            f"pass replace=True to override")
+    _REGISTRY[name] = definition
+    return definition
+
+
+def unregister_stack(name: str) -> None:
+    """Remove a registration (primarily for test teardown)."""
+    if name not in _REGISTRY:
+        raise UnknownStackError(
+            f"unknown stack {name!r}; available: "
+            f"{', '.join(_REGISTRY) or '(none)'}")
+    del _REGISTRY[name]
+
+
+def get_stack(name: str) -> StackDefinition:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise UnknownStackError(
+            f"unknown stack {name!r}; available: "
+            f"{', '.join(available_stacks()) or '(none)'}") from None
+
+
+def available_stacks() -> tuple[str, ...]:
+    """Registered names, in registration order (builtins first)."""
+    return tuple(_REGISTRY)
+
+
+def resolve_spec(stack: Any,
+                 timers: Optional[StackTimers] = None) -> StackSpec:
+    """Normalize any accepted stack spelling to a :class:`StackSpec`.
+
+    ``timers`` (when given) overrides the spec's bundle — so legacy
+    ``f(params, kind, timers=...)`` call shapes keep working unchanged.
+    """
+    if isinstance(stack, StackSpec):
+        return stack if timers is None else stack.with_timers(timers)
+    if isinstance(stack, StackDefinition):
+        return stack.spec(timers=timers)
+    name = stack if isinstance(stack, str) else getattr(stack, "stack_name",
+                                                        None)
+    if not isinstance(name, str):
+        raise TypeError(
+            f"cannot resolve a stack from {stack!r}; expected a registry "
+            f"name, StackSpec, StackDefinition, or StackKind")
+    return get_stack(name).spec(timers=timers)

@@ -1,0 +1,46 @@
+"""Variant stacks registered purely through the registry.
+
+Nothing here touches the harness: each variant is a registration that
+reuses the builtin deploy callables with different canonical parameters.
+This is the extension pattern every future "new scenario" PR follows —
+drop a module like this one in, import it, done.
+"""
+
+from __future__ import annotations
+
+from repro.stacks.base import StackDefinition
+from repro.stacks.builtin import (
+    _bgp_detection_bound_us,
+    _bgp_keepalive_period_us,
+    _mtp_detection_bound_us,
+    _mtp_keepalive_period_us,
+    deploy_bgp_stack,
+    deploy_mtp_stack,
+    render_bgp_config,
+    render_mtp_config,
+)
+from repro.stacks.registry import register_stack
+
+MTP_SPRAY = register_stack(StackDefinition(
+    name="mtp-spray",
+    display="MR-MTP (per-packet spray)",
+    description="MR-MTP with round-robin per-packet spraying on the "
+                "hashed-up paths instead of flow-sticky ECMP",
+    deploy=deploy_mtp_stack,
+    default_params={"per_packet_spray": True},
+    detection_bound_us=_mtp_detection_bound_us,
+    keepalive_period_us=_mtp_keepalive_period_us,
+    render_config=render_mtp_config,
+))
+
+BGP_NOMULTIPATH = register_stack(StackDefinition(
+    name="bgp-nomultipath",
+    display="BGP (single path)",
+    description="the BGP baseline with ECMP multipath disabled — one "
+                "best path per prefix, the pre-RFC7938 ablation",
+    deploy=deploy_bgp_stack,
+    default_params={"multipath": False},
+    detection_bound_us=_bgp_detection_bound_us,
+    keepalive_period_us=_bgp_keepalive_period_us,
+    render_config=render_bgp_config,
+))

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.bgp.config import BgpTimers
 from repro.core.config import MtpTimers
 from repro.harness.analysis import (
     Aggregate,
@@ -61,6 +60,11 @@ class TestFailureStudy:
 
     def test_compare_stacks_orders_protocols(self):
         studies = compare_stacks(two_pod_params(), "TC1", seeds=[0, 1],
-                                 kinds=(StackKind.MTP, StackKind.BGP))
-        assert (studies[StackKind.MTP].convergence_ms.mean
-                < studies[StackKind.BGP].convergence_ms.mean)
+                                 stacks=("mtp", "bgp"))
+        assert (studies["mtp"].convergence_ms.mean
+                < studies["bgp"].convergence_ms.mean)
+
+    def test_compare_stacks_accepts_legacy_enum_handles(self):
+        studies = compare_stacks(two_pod_params(), "TC4", seeds=[0],
+                                 stacks=(StackKind.MTP,))
+        assert studies[StackKind.MTP].stack == "mtp"

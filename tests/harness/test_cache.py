@@ -50,6 +50,15 @@ def _spec():
 # ----------------------------------------------------------------------
 # key stability and invalidation
 # ----------------------------------------------------------------------
+def _key_in_subprocess(program: str, hashseed: str) -> str:
+    env = dict(os.environ, PYTHONHASHSEED=hashseed,
+               PYTHONPATH=SRC + os.pathsep
+               + os.environ.get("PYTHONPATH", ""))
+    out = subprocess.run([sys.executable, "-c", program], env=env,
+                         capture_output=True, text=True, check=True)
+    return out.stdout.strip()
+
+
 def test_task_key_stable_across_processes():
     """The key must not depend on per-process hash randomization."""
     program = (
@@ -61,15 +70,32 @@ def test_task_key_stable_across_processes():
         "                   points=[FailurePoint('L-1-1', 'eth1', 'S-1-1')])[0]\n"
         "print(sweep_point_key(spec))\n"
     )
-    keys = set()
-    for hashseed in ("0", "12345"):
-        env = dict(os.environ, PYTHONHASHSEED=hashseed,
-                   PYTHONPATH=SRC + os.pathsep
-                   + os.environ.get("PYTHONPATH", ""))
-        out = subprocess.run([sys.executable, "-c", program], env=env,
-                             capture_output=True, text=True, check=True)
-        keys.add(out.stdout.strip())
+    keys = {_key_in_subprocess(program, h) for h in ("0", "12345")}
     keys.add(sweep_point_key(_spec()))
+    assert len(keys) == 1, keys
+
+
+def test_registry_spec_key_stable_across_processes():
+    """Registry-name specs (with canonical params in the key) must hash
+    identically across processes too — the sweep cache is shared."""
+    program = (
+        "from repro.topology.clos import two_pod_params\n"
+        "from repro.harness.experiments import (ExperimentSpec,\n"
+        "                                       experiment_task_key)\n"
+        "from repro.stacks import resolve_spec\n"
+        "spec = ExperimentSpec(params=two_pod_params(),\n"
+        "                      stack=resolve_spec('mtp-spray'),\n"
+        "                      case_name='TC1', seed=3)\n"
+        "print(experiment_task_key(spec))\n"
+    )
+    from repro.harness.experiments import ExperimentSpec, experiment_task_key
+    from repro.stacks import resolve_spec
+
+    local = experiment_task_key(ExperimentSpec(
+        params=two_pod_params(), stack=resolve_spec("mtp-spray"),
+        case_name="TC1", seed=3))
+    keys = {_key_in_subprocess(program, h) for h in ("0", "9999")}
+    keys.add(local)
     assert len(keys) == 1, keys
 
 
@@ -157,6 +183,36 @@ def test_schema_bump_invalidates(tmp_path):
     assert cache.get("0a" * 32) is None
 
 
+def test_stale_schema_entry_recomputed(tmp_path):
+    """A pre-bump entry (schema N-1, e.g. the enum-keyed v1 layout) must
+    be discarded and the slot recomputed through the runner — stale
+    payloads never replay after a schema migration."""
+    cache = ResultCache(tmp_path)
+    spec = _spec()
+    key = sweep_point_key(spec)
+    path = _entry_path(cache, key)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(
+        {"schema": CACHE_SCHEMA - 1, "key": key,
+         "payload": {"stale": "v1-era entry"}}))
+    report = FanoutReport()
+    out = execute_tasks([spec], run_sweep_point, cache=cache,
+                        key_fn=sweep_point_key,
+                        encode=encode_sweep_outcome,
+                        decode=decode_sweep_outcome, report=report)
+    assert (report.executed, report.cached) == (1, 0)
+    assert cache.dropped == 1
+    assert out[0].result.ok
+    # the recomputed entry replaced the stale one and now replays
+    replay = FanoutReport()
+    out2 = execute_tasks([spec], run_sweep_point, cache=cache,
+                         key_fn=sweep_point_key,
+                         encode=encode_sweep_outcome,
+                         decode=decode_sweep_outcome, report=replay)
+    assert (replay.executed, replay.cached) == (0, 1)
+    assert out2[0].digest == out[0].digest
+
+
 def test_miss_then_hit_counters(tmp_path):
     cache = ResultCache(tmp_path)
     assert cache.get("12" * 32) is None
@@ -182,7 +238,7 @@ def test_sweep_outcome_roundtrip():
 
 def test_experiment_outcome_roundtrip():
     result = ExperimentResult(
-        kind=StackKind.BGP_BFD, case="TC3", seed=5, convergence_us=1234,
+        stack="bgp-bfd", case="TC3", seed=5, convergence_us=1234,
         control_bytes=97, update_count=1, blast_routers=["S-1-1", "T-1"],
     )
     outcome = ExperimentOutcome(result=result, digest="d" * 64)

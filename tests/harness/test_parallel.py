@@ -1,6 +1,6 @@
 """Determinism property tests for the parallel experiment runner.
 
-For a matrix of (stack kind, topology, seed): the run digest of every
+For a matrix of (stack, topology, seed): the run digest of every
 task must be identical across repeated serial runs, across serial vs
 process-pool execution, and across different worker counts.  Any
 divergence means a task leaked state (wall clock, globals, unseeded
@@ -12,10 +12,10 @@ from __future__ import annotations
 import pytest
 
 from repro.topology.clos import two_pod_params
+from repro.stacks import resolve_spec
 from repro.harness.experiments import (
     ExperimentSpec,
     StackKind,
-    StackTimers,
     run_experiment_task,
 )
 from repro.harness.parallel import (
@@ -68,11 +68,11 @@ def test_sweep_digests_across_worker_counts():
 # ----------------------------------------------------------------------
 # multi-seed experiment batches
 # ----------------------------------------------------------------------
-@pytest.mark.parametrize("kind", [StackKind.MTP, StackKind.BGP])
-def test_experiment_batch_digests_deterministic(kind):
+@pytest.mark.parametrize("stack", ["mtp", "bgp"])
+def test_experiment_batch_digests_deterministic(stack):
     specs = [
-        ExperimentSpec(params=two_pod_params(), kind=kind, case_name="TC1",
-                       seed=seed, timers=StackTimers())
+        ExperimentSpec(params=two_pod_params(), stack=resolve_spec(stack),
+                       case_name="TC1", seed=seed)
         for seed in (0, 1)
     ]
     digests = assert_fanout_deterministic(specs, run_experiment_task,
@@ -83,8 +83,8 @@ def test_experiment_batch_digests_deterministic(kind):
 def test_experiment_digest_differs_across_seeds_and_cases():
     def outcome(case, seed):
         return run_experiment_task(ExperimentSpec(
-            params=two_pod_params(), kind=StackKind.MTP, case_name=case,
-            seed=seed, timers=StackTimers()))
+            params=two_pod_params(), stack=resolve_spec("mtp"),
+            case_name=case, seed=seed))
 
     base = outcome("TC1", 0)
     assert base.digest == outcome("TC1", 0).digest

@@ -1,0 +1,59 @@
+"""Architecture lint: the harness and CLI must stay stack-agnostic.
+
+The stack-plugin refactor's core invariant is that per-stack knowledge
+lives only in plugin definitions (``repro.stacks.builtin`` /
+``variants``).  These greps keep it that way: any new ``StackKind.X``
+branch or ``isinstance(deployment, ...)`` dispatch in a harness module
+would silently re-couple the harness to the builtin stacks and break
+third-party plugins — fail it at review time instead.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+# every module that must not know which stack it is running
+AGNOSTIC_FILES = sorted(
+    [*(SRC / "harness").glob("*.py"), SRC / "cli.py",
+     SRC / "stacks" / "base.py", SRC / "stacks" / "registry.py"])
+
+
+def _matches(pattern: str, path: Path) -> list[str]:
+    rx = re.compile(pattern)
+    return [f"{path.relative_to(SRC.parent.parent)}:{n}: {line.rstrip()}"
+            for n, line in enumerate(path.read_text().splitlines(), 1)
+            if rx.search(line)]
+
+
+def test_files_under_lint_exist():
+    names = {p.name for p in AGNOSTIC_FILES}
+    assert {"experiments.py", "sweep.py", "cache.py", "pathtrace.py",
+            "analysis.py", "deploy.py", "cli.py"} <= names
+
+
+def test_no_stackkind_branching_outside_builtin_plugins():
+    """``StackKind.<member>`` may appear only inside the builtin plugin
+    module — anywhere else it is enum dispatch the registry replaced."""
+    offenders = [m for path in AGNOSTIC_FILES
+                 for m in _matches(r"StackKind\.", path)]
+    assert not offenders, "\n".join(offenders)
+
+
+def test_no_deployment_isinstance_dispatch():
+    """Per-stack behavior goes through the Deployment protocol, never
+    through ``isinstance(dep, MtpDeployment)``-style type sniffing."""
+    offenders = [
+        m for path in AGNOSTIC_FILES if path.name != "deploy.py"
+        for m in _matches(r"isinstance\([^)]*(Mtp|Bgp)Deployment", path)]
+    assert not offenders, "\n".join(offenders)
+
+
+def test_no_hardcoded_stack_name_dispatch():
+    """Comparing ``spec.name`` against string literals is the same
+    coupling with a different spelling."""
+    rx = r"\.name\s*(==|!=|\bin\b)\s*[(\[]?\s*['\"](mtp|bgp)"
+    offenders = [m for path in AGNOSTIC_FILES for m in _matches(rx, path)]
+    assert not offenders, "\n".join(offenders)
