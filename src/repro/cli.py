@@ -4,6 +4,7 @@ The CLI wraps the experiment harness for interactive use — the
 simulator-era equivalent of the paper's FABRIC automation entry points:
 
     python -m repro stacks                            # list registered stacks
+    python -m repro stacks --json                     # machine-readable list
     python -m repro topo     --pods 4                 # build & validate
     python -m repro converge --stack mtp --pods 2     # converge, show state
     python -m repro fail     --stack bgp-bfd --case TC1
@@ -11,6 +12,10 @@ simulator-era equivalent of the paper's FABRIC automation entry points:
     python -m repro loss     --stack mtp-spray --case TC2 --direction near
     python -m repro config   --stack bgp --pods 4     # Listing 1/2 output
     python -m repro sweep    --stack mtp --jobs 4     # robustness sweep
+    python -m repro scenario list                     # canonical library
+    python -m repro scenario show flap-storm          # canonical JSON
+    python -m repro scenario run --stack mtp --jobs 4 # run the library
+    python -m repro scenario run tc1 drain --stack bgp-bfd --stack mtp
 
 ``--stack`` accepts any name in the stack registry (see ``stacks``);
 registering a new stack via :func:`repro.stacks.register_stack` makes it
@@ -24,6 +29,7 @@ content hash of the task; ``--no-cache`` disables it.
 from __future__ import annotations
 
 import argparse
+import json
 import statistics
 import sys
 import time
@@ -94,6 +100,18 @@ def _params(args) -> ClosParams:
 
 
 def cmd_stacks(args) -> int:
+    if args.json:
+        entries = [
+            {
+                "name": name,
+                "display": get_stack(name).display,
+                "description": get_stack(name).description,
+                "params": dict(sorted(get_stack(name).default_params.items())),
+            }
+            for name in available_stacks()
+        ]
+        print(json.dumps(entries, indent=2, sort_keys=True))
+        return 0
     for name in available_stacks():
         definition = get_stack(name)
         params = ", ".join(
@@ -200,6 +218,59 @@ def cmd_loss(args) -> int:
     return 0
 
 
+def _load_scenarios(args):
+    from pathlib import Path
+
+    from repro.scenario import Scenario, canonical_scenarios, get_scenario
+
+    if args.file:
+        scenario = Scenario.from_json(Path(args.file).read_text())
+        return [scenario]
+    if not args.names:
+        return list(canonical_scenarios().values())
+    return [get_scenario(name) for name in args.names]
+
+
+def cmd_scenario(args) -> int:
+    from repro.scenario import canonical_scenarios, run_scenario_suite
+
+    if args.action == "list":
+        for name, scenario in canonical_scenarios().items():
+            print(f"{name:<16} {len(scenario.events):>2} events  "
+                  f"{scenario.description}")
+        return 0
+    if args.action == "show":
+        for scenario in _load_scenarios(args):
+            print(json.dumps(scenario.to_payload(), indent=2,
+                             sort_keys=True))
+        return 0
+
+    scenarios = _load_scenarios(args)
+    stacks = args.stack or list(available_stacks())
+    report = FanoutReport()
+    t0 = time.perf_counter()
+    outcomes = run_scenario_suite(
+        _params(args), scenarios, stacks, seed=args.seed, jobs=args.jobs,
+        cache=_cache_from(args), report=report,
+    )
+    elapsed = time.perf_counter() - t0
+    for outcome in outcomes:
+        m = outcome.metrics
+        line = (f"{m.stack:<16} {m.scenario:<16} "
+                f"conv {m.convergence_ms:9.2f} ms, "
+                f"{m.control_bytes:>6} B / {m.update_count:>3} updates, "
+                f"blast {m.blast_radius}")
+        if m.sent:
+            line += (f", traffic {m.received}/{m.sent} "
+                     f"(blackhole {m.blackhole_us / 1000:.0f} ms)")
+        if args.digests:
+            line = f"{outcome.digest[:16]}  {line}"
+        print(line)
+    print(f"{len(outcomes)} scenario runs ({report.describe()}), "
+          f"{elapsed:.2f} s wall clock")
+    return 0
+
+
 def cmd_config(args) -> int:
     definition = get_stack(args.stack)
     if definition.render_config is None:
@@ -222,6 +293,9 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_stacks = sub.add_parser("stacks", help="list registered stack plugins")
+    p_stacks.add_argument("--json", action="store_true",
+                          help="machine-readable output (name, display, "
+                               "description, params)")
     p_stacks.set_defaults(func=cmd_stacks)
 
     p_topo = sub.add_parser("topo", help="build and validate a fabric")
@@ -254,6 +328,23 @@ def build_parser() -> argparse.ArgumentParser:
     _add_fanout_args(p_sweep)
     p_sweep.set_defaults(func=cmd_sweep)
 
+    p_scn = sub.add_parser(
+        "scenario", help="run, list or show declarative scenarios")
+    p_scn.add_argument("action", choices=("list", "show", "run"))
+    p_scn.add_argument("names", nargs="*",
+                       help="library scenario names (default: all)")
+    p_scn.add_argument("--file", default=None,
+                       help="load a scenario from a JSON file instead")
+    p_scn.add_argument("--stack", action="append", default=None,
+                       choices=available_stacks(), metavar="STACK",
+                       help="stack(s) to run on; repeatable "
+                            "(default: every registered stack)")
+    p_scn.add_argument("--digests", action="store_true",
+                       help="print each run's digest")
+    _add_topo_args(p_scn)
+    _add_fanout_args(p_scn)
+    p_scn.set_defaults(func=cmd_scenario)
+
     p_loss = sub.add_parser("loss", help="run a packet-loss experiment")
     _add_topo_args(p_loss)
     _add_stack_arg(p_loss)
@@ -274,9 +365,16 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv=None) -> int:
+    from repro.harness.failures import UnknownTargetError
+    from repro.scenario import ScenarioError
+
     args = build_parser().parse_args(argv)
     try:
         return args.func(args)
+    except (ScenarioError, UnknownTargetError) as exc:
+        # bad scenario files / symbolic targets are user input, not bugs
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     except BrokenPipeError:
         # output piped into `head` etc. — exit quietly like other CLIs
         try:

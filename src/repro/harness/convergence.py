@@ -21,6 +21,7 @@ class ConvergenceMonitor:
         self.world = world
         self.categories = set(categories)
         self.armed_at: Optional[int] = None
+        self.first_update_time: Optional[int] = None
         self.last_update_time: Optional[int] = None
         self.update_count = 0
         self.update_bytes = 0
@@ -30,6 +31,7 @@ class ConvergenceMonitor:
     def arm(self, at_time: Optional[int] = None) -> None:
         """Start counting updates from ``at_time`` (default: now)."""
         self.armed_at = self.world.sim.now if at_time is None else at_time
+        self.first_update_time = None
         self.last_update_time = None
         self.update_count = 0
         self.update_bytes = 0
@@ -40,6 +42,8 @@ class ConvergenceMonitor:
             return
         if record.category not in self.categories:
             return
+        if self.first_update_time is None:
+            self.first_update_time = record.time
         self.last_update_time = record.time
         self.update_count += 1
         self.update_bytes += int(record.data.get("bytes", 0))

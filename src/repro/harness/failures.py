@@ -14,6 +14,24 @@ from repro.net.world import World
 from repro.topology.clos import ClosTopology, FailureCase
 
 
+class UnknownTargetError(KeyError):
+    """A failure/restore names a node or interface that does not exist.
+
+    Raised up front, at scheduling time — a bare ``KeyError`` escaping
+    from :class:`World` mid-simulation would otherwise surface long
+    after the bad call, with no hint which injection caused it.
+    Subclasses ``KeyError`` so existing callers that caught the raw
+    lookup error keep working.
+    """
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message)
+        self.message = message
+
+    def __str__(self) -> str:
+        return self.message
+
+
 @dataclass(frozen=True)
 class InjectedFailure:
     node: str
@@ -28,9 +46,26 @@ class FailureInjector:
         self.events: list[InjectedFailure] = []
 
     # ------------------------------------------------------------------
+    def _checked_node(self, node_name: str):
+        node = self.world.nodes.get(node_name)
+        if node is None:
+            raise UnknownTargetError(
+                f"unknown node {node_name!r}; the world has: "
+                f"{', '.join(sorted(self.world.nodes)) or '(none)'}")
+        return node
+
+    def _check_target(self, node_name: str, iface_name: str) -> None:
+        node = self._checked_node(node_name)
+        if iface_name not in node.interfaces:
+            raise UnknownTargetError(
+                f"node {node_name} has no interface {iface_name!r}; "
+                f"has: {', '.join(node.interfaces) or '(none)'}")
+
+    # ------------------------------------------------------------------
     def fail_interface(self, node_name: str, iface_name: str,
                        at: Optional[int] = None) -> None:
         """Bring the interface down now or at absolute time ``at``."""
+        self._check_target(node_name, iface_name)
         if at is None:
             self._do(node_name, iface_name, False)
         else:
@@ -38,6 +73,7 @@ class FailureInjector:
 
     def restore_interface(self, node_name: str, iface_name: str,
                           at: Optional[int] = None) -> None:
+        self._check_target(node_name, iface_name)
         if at is None:
             self._do(node_name, iface_name, True)
         else:
@@ -67,12 +103,12 @@ class FailureInjector:
     # ------------------------------------------------------------------
     def fail_node(self, node_name: str, at: Optional[int] = None) -> None:
         """Whole-device failure: every interface goes down at once."""
-        node = self.world.nodes[node_name]
+        node = self._checked_node(node_name)
         for iface_name in list(node.interfaces):
             self.fail_interface(node_name, iface_name, at=at)
 
     def restore_node(self, node_name: str, at: Optional[int] = None) -> None:
-        node = self.world.nodes[node_name]
+        node = self._checked_node(node_name)
         for iface_name in list(node.interfaces):
             self.restore_interface(node_name, iface_name, at=at)
 

@@ -1,0 +1,288 @@
+"""Scenario compiler: declarative events onto the simulation engine.
+
+Compilation happens in two steps against an already-converged fabric:
+
+1. **resolve** — every symbolic target is expanded through
+   :class:`~repro.scenario.targets.TargetResolver` *before* any
+   simulated time passes, so an unresolvable scenario fails fast with
+   :class:`~repro.harness.failures.UnknownTargetError`;
+2. **execute** — the fabric idles through the settle phase, the update
+   monitor arms and forwarding tables are snapshotted (the measurement
+   start, ``t = 0`` for event offsets), fault events are driven through
+   :class:`~repro.harness.failures.FailureInjector` and traffic bursts
+   through :mod:`repro.traffic`, and the run is measured under the
+   paper's update-quiesce rule until at least the event horizon plus the
+   stack's detection bound has played out.
+
+The execution sequence around a single ``iface_down`` at offset 0 is
+step-for-step identical to
+:func:`repro.harness.experiments.run_failure_experiment` — which is what
+lets the declarative TC1–TC4 scenarios reproduce the golden Fig. 4/5
+metrics exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.sim.units import MILLISECOND, SECOND
+from repro.net.world import World
+from repro.topology.clos import ClosTopology
+from repro.harness.convergence import ConvergenceMonitor
+from repro.harness.failures import FailureInjector
+from repro.harness.metrics import blast_radius, snapshot_table_change_counts
+from repro.scenario.model import DOWN_OPS, Scenario, ScenarioError
+from repro.scenario.targets import TargetResolver
+from repro.traffic.generator import ReceiverAnalyzer, TrafficSender
+
+# default flow selector for the first traffic burst; later bursts step
+# by one so concurrent flows stay distinguishable at the receiver
+BASE_TRAFFIC_SRC_PORT = 40000
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """Monitor counters frozen at a ``measure`` marker."""
+
+    label: str
+    time_us: int
+    update_count: int
+    update_bytes: int
+
+
+@dataclass
+class ScenarioMetrics:
+    """What one scenario run measured (the per-scenario analysis row)."""
+
+    scenario: str
+    stack: str
+    seed: int
+    settle_us: int
+    convergence_us: int            # measurement start -> last update
+    detection_us: Optional[int]    # first fault -> first update
+    control_bytes: int
+    update_count: int
+    blast_routers: list[str]
+    sent: int = 0
+    received: int = 0
+    duplicated: int = 0
+    out_of_order: int = 0
+    blackhole_us: int = 0          # longest inferred per-flow outage
+    checkpoints: list[Checkpoint] = field(default_factory=list)
+
+    @property
+    def lost(self) -> int:
+        return self.sent - self.received
+
+    @property
+    def blast_radius(self) -> int:
+        return len(self.blast_routers)
+
+    @property
+    def convergence_ms(self) -> float:
+        return self.convergence_us / MILLISECOND
+
+
+@dataclass
+class _Burst:
+    sender: TrafficSender
+    analyzer: ReceiverAnalyzer
+    src_addr: object
+    src_port: int
+    gap_us: int
+
+
+class CompiledScenario:
+    """A scenario bound to one built fabric: targets resolved, horizon
+    computed, ready to execute exactly once."""
+
+    def __init__(self, scenario: Scenario, world: World,
+                 topo: ClosTopology, deployment) -> None:
+        self.scenario = scenario
+        self.world = world
+        self.topo = topo
+        self.deployment = deployment
+        self._executed = False
+        resolver = TargetResolver(topo)
+        self.actions = [self._resolve(event, resolver, index)
+                        for index, event in enumerate(scenario.events)]
+        self.horizon_us = scenario.horizon_ms() * MILLISECOND
+
+    # ------------------------------------------------------------------
+    def _resolve(self, event, resolver: TargetResolver, index: int):
+        at_us = event.at_ms * MILLISECOND
+        if event.op in ("iface_down", "iface_up"):
+            return (event.op, at_us, resolver.interface(event.target))
+        if event.op in ("link_cut", "link_restore"):
+            return (event.op, at_us, resolver.link(event.target))
+        if event.op in ("node_crash", "node_restart"):
+            return (event.op, at_us, resolver.node(event.target))
+        if event.op == "flap_train":
+            up_ms = event.up_ms if event.up_ms is not None else event.down_ms
+            return (event.op, at_us, resolver.interface(event.target),
+                    event.down_ms * MILLISECOND, up_ms * MILLISECOND,
+                    event.count)
+        if event.op == "traffic_burst":
+            src = resolver.endpoint(event.src)
+            dst = resolver.endpoint(event.dst)
+            if src == dst:
+                raise ScenarioError(
+                    f"traffic_burst: src and dst both resolve to {src}")
+            src_port = (event.src_port if event.src_port is not None
+                        else BASE_TRAFFIC_SRC_PORT + index)
+            return (event.op, at_us, src, dst, event.rate_pps, event.count,
+                    src_port)
+        if event.op == "pause":
+            return (event.op, at_us)
+        return (event.op, at_us, event.label)  # measure
+
+    # ------------------------------------------------------------------
+    def execute(self, stack_name: str, seed: int) -> ScenarioMetrics:
+        """Run the compiled scenario; one shot per fabric."""
+        if self._executed:
+            raise ScenarioError("a compiled scenario executes only once")
+        self._executed = True
+        world, deployment = self.world, self.deployment
+        scenario = self.scenario
+
+        # settle: idle the converged fabric so events land at an
+        # arbitrary keepalive phase (or a fixed offset)
+        if scenario.settle == "keepalive-phase":
+            phase_rng = world.rng.stream("experiment-settle")
+            period = deployment.keepalive_period_us()
+            settle_us = int(phase_rng.uniform(0, 2 * period))
+        else:
+            settle_us = scenario.settle * MILLISECOND
+        world.run_for(settle_us)
+
+        monitor = ConvergenceMonitor(world, deployment.update_categories())
+        before = snapshot_table_change_counts(deployment.forwarding_tables())
+        injector = FailureInjector(world)
+        monitor.arm()
+        start = world.sim.now
+
+        checkpoints: list[Checkpoint] = []
+        bursts: list[_Burst] = []
+        first_fault_us: Optional[int] = None
+        for action in self.actions:
+            op, at_us = action[0], action[1]
+            if op in DOWN_OPS and (first_fault_us is None
+                                   or at_us < first_fault_us):
+                first_fault_us = at_us
+            self._dispatch(action, injector, monitor, checkpoints,
+                           bursts, start)
+
+        quiet_us = scenario.quiet_ms * MILLISECOND
+        min_wait_us = (self.horizon_us + deployment.detection_bound_us()
+                       + quiet_us)
+        # never stop before every scheduled event has played, even when
+        # the scenario's declared budget is tighter than its horizon
+        max_wait_us = max(scenario.max_wait_ms * MILLISECOND, min_wait_us)
+        monitor.run_until_quiet(quiet_us=quiet_us, max_wait_us=max_wait_us,
+                                min_wait_us=min_wait_us)
+        monitor.detach()
+
+        convergence = monitor.convergence_time_us()
+        detection: Optional[int] = None
+        if first_fault_us is not None and monitor.first_update_time is not None:
+            detection = monitor.first_update_time - (start + first_fault_us)
+        metrics = ScenarioMetrics(
+            scenario=scenario.name,
+            stack=stack_name,
+            seed=seed,
+            settle_us=settle_us,
+            convergence_us=convergence if convergence is not None else 0,
+            detection_us=detection,
+            control_bytes=monitor.update_bytes,
+            update_count=monitor.update_count,
+            blast_routers=blast_radius(before, deployment.forwarding_tables()),
+            checkpoints=checkpoints,
+        )
+        self._account_traffic(metrics, bursts)
+        return metrics
+
+    # ------------------------------------------------------------------
+    def _dispatch(self, action, injector: FailureInjector,
+                  monitor: ConvergenceMonitor,
+                  checkpoints: list[Checkpoint], bursts: list[_Burst],
+                  start: int) -> None:
+        op, at_us = action[0], action[1]
+        # offset-0 fault events run synchronously (in declaration order),
+        # exactly as the classic experiment drivers inject them
+        when = None if at_us == 0 else start + at_us
+        if op in ("iface_down", "iface_up"):
+            node, iface = action[2]
+            call = (injector.fail_interface if op == "iface_down"
+                    else injector.restore_interface)
+            call(node, iface, at=when)
+        elif op in ("link_cut", "link_restore"):
+            node_a, node_b = action[2]
+            call = (injector.cut_link if op == "link_cut"
+                    else injector.restore_link)
+            call(node_a, node_b, at=when)
+        elif op in ("node_crash", "node_restart"):
+            call = (injector.fail_node if op == "node_crash"
+                    else injector.restore_node)
+            call(action[2], at=when)
+        elif op == "flap_train":
+            (_, _, (node, iface), down_us, up_us, count) = action
+            injector.flap_interface(node, iface, period_us=down_us,
+                                    count=count, start_at=start + at_us,
+                                    up_period_us=up_us)
+        elif op == "traffic_burst":
+            (_, _, src, dst, rate_pps, count, src_port) = action
+            gap_us = max(SECOND // rate_pps, 1)
+            sender = TrafficSender(
+                udp=self.deployment.servers[src].udp,
+                dst=self.topo.server_address(dst),
+                src_port=src_port, gap_us=gap_us,
+            )
+            analyzer = self._analyzer_for(dst, bursts)
+            sender.start(count=count, at=start + at_us)
+            bursts.append(_Burst(sender=sender, analyzer=analyzer,
+                                 src_addr=self.topo.server_address(src),
+                                 src_port=src_port, gap_us=gap_us))
+        elif op == "measure":
+            label = action[2]
+
+            def checkpoint(label=label):
+                checkpoints.append(Checkpoint(
+                    label=label, time_us=self.world.sim.now,
+                    update_count=monitor.update_count,
+                    update_bytes=monitor.update_bytes))
+
+            if at_us == 0:
+                checkpoint()
+            else:
+                self.world.sim.schedule_at(start + at_us, checkpoint)
+        # "pause" only extends the horizon; nothing to schedule
+
+    def _analyzer_for(self, dst: str, bursts: list[_Burst]) -> ReceiverAnalyzer:
+        for burst in bursts:
+            if burst.analyzer.udp is self.deployment.servers[dst].udp:
+                return burst.analyzer
+        return ReceiverAnalyzer(self.deployment.servers[dst].udp)
+
+    def _account_traffic(self, metrics: ScenarioMetrics,
+                         bursts: list[_Burst]) -> None:
+        analyzers = []
+        for burst in bursts:
+            if burst.analyzer not in analyzers:
+                analyzers.append(burst.analyzer)
+            delivered = burst.analyzer.flow_received(burst.src_addr,
+                                                     burst.src_port)
+            outage_us = (burst.sender.sent - delivered) * burst.gap_us
+            metrics.sent += burst.sender.sent
+            metrics.blackhole_us = max(metrics.blackhole_us, outage_us)
+        for analyzer in analyzers:
+            metrics.received += analyzer.received
+            metrics.duplicated += analyzer.duplicated
+            metrics.out_of_order += analyzer.out_of_order
+            analyzer.close()
+
+
+def compile_scenario(scenario: Scenario, world: World, topo: ClosTopology,
+                     deployment) -> CompiledScenario:
+    """Resolve ``scenario`` against a built, converged fabric."""
+    return CompiledScenario(scenario, world, topo, deployment)

@@ -1,0 +1,131 @@
+"""The canonical scenario library.
+
+Eight shipped workloads, runnable on any registered stack via
+``python -m repro scenario run``:
+
+* ``tc1``–``tc4`` — the paper's four interface-failure test points
+  (Fig. 3), expressed declaratively.  Event-for-event these replay
+  :func:`~repro.harness.experiments.run_failure_experiment`, so at
+  seed 0 they reproduce the golden Fig. 4/5 metrics exactly (the
+  regression test in ``tests/scenario`` holds them to it);
+* ``flap-storm`` — a link flaps repeatedly under crossing traffic: the
+  Slow-to-Accept ablation's workload as a first-class scenario;
+* ``double-cut`` — two correlated fiber cuts 50 ms apart along one
+  aggregation's paths (the FatPaths-style correlated failure pattern);
+* ``drain`` — maintenance drain-and-upgrade: a whole aggregation goes
+  dark, sits in maintenance, and returns;
+* ``rolling-restart`` — both first-pod aggregations restart in
+  sequence, with measure checkpoints between the waves.
+
+Scenarios are topology-relative (symbolic targets), so the same library
+runs on 2-PoD, 4-PoD or multi-zone fabrics unchanged.
+"""
+
+from __future__ import annotations
+
+from repro.scenario.model import Scenario, ScenarioEvent
+
+
+def _tc_scenario(case: str, description: str) -> Scenario:
+    return Scenario(
+        name=case.lower(),
+        description=f"{case} declaratively: {description}",
+        settle="keepalive-phase",
+        quiet_ms=1000,
+        max_wait_ms=30_000,
+        events=(ScenarioEvent(op="iface_down", at_ms=0,
+                              target=f"case:{case}"),),
+    )
+
+
+TC1 = _tc_scenario("TC1", "ToR uplink fails at the ToR side")
+TC2 = _tc_scenario("TC2", "ToR-agg link fails at the agg side")
+TC3 = _tc_scenario("TC3", "agg uplink fails at the agg side")
+TC4 = _tc_scenario("TC4", "agg-top link fails at the top side")
+
+FLAP_STORM = Scenario(
+    name="flap-storm",
+    description="a ToR uplink flaps three times (300 ms down / 700 ms up) "
+                "under crossing far-to-near traffic — the Slow-to-Accept "
+                "gate's worst case, with the dead-timer blackhole visible "
+                "as lost packets",
+    settle=100,
+    quiet_ms=1000,
+    max_wait_ms=45_000,
+    events=(
+        # far rack -> failing rack, on a flow that hashes across the
+        # flapping link: the remote side only reroutes after detection
+        ScenarioEvent(op="traffic_burst", at_ms=0, src="server:tor[3]",
+                      dst="server:tor[0]", rate_pps=500, count=2000,
+                      src_port=40000),
+        ScenarioEvent(op="flap_train", at_ms=200, target="case:TC1",
+                      down_ms=300, up_ms=700, count=3),
+    ),
+)
+
+DOUBLE_CUT = Scenario(
+    name="double-cut",
+    description="correlated fiber cuts: the first ToR-agg link and, 50 ms "
+                "later, one of that agg's uplinks — a shared-conduit cut",
+    settle="keepalive-phase",
+    quiet_ms=1000,
+    max_wait_ms=45_000,
+    events=(
+        ScenarioEvent(op="link_cut", at_ms=0, target="tor[0]--agg[0]"),
+        ScenarioEvent(op="link_cut", at_ms=50, target="agg[0].uplink[any]"),
+        ScenarioEvent(op="link_restore", at_ms=5000,
+                      target="tor[0]--agg[0]"),
+        ScenarioEvent(op="link_restore", at_ms=5050,
+                      target="agg[0].uplink[any]"),
+    ),
+)
+
+DRAIN = Scenario(
+    name="drain",
+    description="maintenance drain-and-upgrade: one randomly chosen "
+                "aggregation goes dark, sits in maintenance for 3 s, "
+                "then returns",
+    settle="keepalive-phase",
+    quiet_ms=1000,
+    max_wait_ms=60_000,
+    events=(
+        ScenarioEvent(op="node_crash", at_ms=0, target="any-agg"),
+        ScenarioEvent(op="pause", at_ms=0, duration_ms=3000),
+        ScenarioEvent(op="node_restart", at_ms=3000, target="any-agg"),
+    ),
+)
+
+ROLLING_RESTART = Scenario(
+    name="rolling-restart",
+    description="rolling upgrade of the first pod's aggregations: each "
+                "restarts in turn with a measure checkpoint between waves",
+    settle="keepalive-phase",
+    quiet_ms=1000,
+    max_wait_ms=60_000,
+    events=(
+        ScenarioEvent(op="node_crash", at_ms=0, target="agg[0][0]"),
+        ScenarioEvent(op="node_restart", at_ms=1500, target="agg[0][0]"),
+        ScenarioEvent(op="measure", at_ms=3000, label="wave-1"),
+        ScenarioEvent(op="node_crash", at_ms=3000, target="agg[0][1]"),
+        ScenarioEvent(op="node_restart", at_ms=4500, target="agg[0][1]"),
+        ScenarioEvent(op="measure", at_ms=6000, label="wave-2"),
+    ),
+)
+
+CANONICAL = (TC1, TC2, TC3, TC4, FLAP_STORM, DOUBLE_CUT, DRAIN,
+             ROLLING_RESTART)
+
+
+def canonical_scenarios() -> dict[str, Scenario]:
+    """name -> scenario, in library order."""
+    return {scenario.name: scenario for scenario in CANONICAL}
+
+
+def get_scenario(name: str) -> Scenario:
+    scenarios = canonical_scenarios()
+    if name not in scenarios:
+        from repro.scenario.model import ScenarioError
+        raise ScenarioError(
+            f"unknown scenario {name!r}; canonical library: "
+            f"{', '.join(scenarios)}")
+    return scenarios[name]

@@ -1,0 +1,180 @@
+"""Scenario execution: single runs, cached/parallel suite sweeps.
+
+One scenario x stack x seed is an independent, picklable task
+(:class:`ScenarioRunSpec`), so suites fan out over worker processes via
+:func:`repro.harness.parallel.execute_tasks` and replay from the
+content-addressed result cache exactly like sweeps and seed batches do.
+Every run carries a SHA-256 run digest (trace + metrics), so serial and
+``--jobs N`` execution are byte-comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.sim.units import SECOND
+from repro.topology.clos import ClosParams
+from repro.stacks import StackSpec, StackTimers, resolve_spec
+from repro.harness.cache import ResultCache, task_key
+from repro.harness.digest import run_digest
+from repro.harness.experiments import build_and_converge
+from repro.harness.parallel import FanoutReport, execute_tasks
+from repro.scenario.compiler import (
+    Checkpoint,
+    ScenarioMetrics,
+    compile_scenario,
+)
+from repro.scenario.model import Scenario
+
+
+@dataclass(frozen=True)
+class ScenarioRunSpec:
+    """One scenario run as an independent, picklable task."""
+
+    params: ClosParams
+    stack: StackSpec
+    scenario: Scenario
+    seed: int
+
+
+@dataclass
+class ScenarioOutcome:
+    """A scenario run's metrics plus its determinism fingerprint."""
+
+    metrics: ScenarioMetrics
+    digest: str
+
+
+def run_scenario(
+    scenario: Scenario,
+    params: ClosParams,
+    stack,
+    seed: int = 0,
+    timers: Optional[StackTimers] = None,
+    return_world: bool = False,
+):
+    """Build a fresh fabric, converge the stack, execute the scenario."""
+    spec = resolve_spec(stack, timers)
+    # the horizon feeds the converge budget ceiling only indirectly: the
+    # scenario itself plays after convergence, on the measured clock
+    world, topo, deployment = build_and_converge(
+        params, spec, seed, max_converge_us=60 * SECOND)
+    program = compile_scenario(scenario, world, topo, deployment)
+    metrics = program.execute(spec.name, seed)
+    if return_world:
+        return metrics, world
+    return metrics
+
+
+def run_scenario_task(spec: ScenarioRunSpec) -> ScenarioOutcome:
+    """The parallel worker (top-level so the process pool can pickle it)."""
+    metrics, world = run_scenario(spec.scenario, spec.params, spec.stack,
+                                  spec.seed, return_world=True)
+    digest = run_digest(world.trace, _metrics_payload(metrics))
+    return ScenarioOutcome(metrics=metrics, digest=digest)
+
+
+# ----------------------------------------------------------------------
+# cache plumbing: key, encode, decode
+# ----------------------------------------------------------------------
+def scenario_task_key(spec: ScenarioRunSpec) -> str:
+    """Content hash of one scenario run: the canonical scenario payload
+    enters the key, so editing a scenario invalidates only its entries."""
+    return task_key(
+        "scenario-run",
+        params=spec.params,
+        stack=spec.stack.name,
+        stack_params=spec.stack.params,
+        timers=spec.stack.timers,
+        scenario=spec.scenario.to_payload(),
+        seed=spec.seed,
+    )
+
+
+def _metrics_payload(metrics: ScenarioMetrics) -> dict:
+    return {
+        "scenario": metrics.scenario,
+        "stack": metrics.stack,
+        "seed": metrics.seed,
+        "settle_us": metrics.settle_us,
+        "convergence_us": metrics.convergence_us,
+        "detection_us": metrics.detection_us,
+        "control_bytes": metrics.control_bytes,
+        "update_count": metrics.update_count,
+        "blast_routers": list(metrics.blast_routers),
+        "sent": metrics.sent,
+        "received": metrics.received,
+        "duplicated": metrics.duplicated,
+        "out_of_order": metrics.out_of_order,
+        "blackhole_us": metrics.blackhole_us,
+        "checkpoints": [[c.label, c.time_us, c.update_count, c.update_bytes]
+                        for c in metrics.checkpoints],
+    }
+
+
+def encode_scenario_outcome(outcome: ScenarioOutcome) -> dict:
+    return {**_metrics_payload(outcome.metrics), "digest": outcome.digest}
+
+
+def decode_scenario_outcome(payload: dict) -> ScenarioOutcome:
+    metrics = ScenarioMetrics(
+        scenario=payload["scenario"],
+        stack=payload["stack"],
+        seed=payload["seed"],
+        settle_us=payload["settle_us"],
+        convergence_us=payload["convergence_us"],
+        detection_us=payload["detection_us"],
+        control_bytes=payload["control_bytes"],
+        update_count=payload["update_count"],
+        blast_routers=list(payload["blast_routers"]),
+        sent=payload["sent"],
+        received=payload["received"],
+        duplicated=payload["duplicated"],
+        out_of_order=payload["out_of_order"],
+        blackhole_us=payload["blackhole_us"],
+        checkpoints=[Checkpoint(label=c[0], time_us=c[1], update_count=c[2],
+                                update_bytes=c[3])
+                     for c in payload["checkpoints"]],
+    )
+    return ScenarioOutcome(metrics=metrics, digest=payload["digest"])
+
+
+# ----------------------------------------------------------------------
+# suite runner: scenarios x stacks through the fan-out machinery
+# ----------------------------------------------------------------------
+def scenario_suite_specs(
+    params: ClosParams,
+    scenarios: Sequence[Scenario],
+    stacks: Sequence,
+    seed: int = 0,
+    timers: Optional[StackTimers] = None,
+) -> list[ScenarioRunSpec]:
+    """Expand a suite into its independent per-run tasks, stack-major so
+    one stack's scenarios sit together in reports."""
+    return [
+        ScenarioRunSpec(params=params, stack=resolve_spec(stack, timers),
+                        scenario=scenario, seed=seed)
+        for stack in stacks
+        for scenario in scenarios
+    ]
+
+
+def run_scenario_suite(
+    params: ClosParams,
+    scenarios: Sequence[Scenario],
+    stacks: Sequence,
+    seed: int = 0,
+    timers: Optional[StackTimers] = None,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    report: Optional[FanoutReport] = None,
+) -> list[ScenarioOutcome]:
+    """Run every scenario on every stack, fanned out over ``jobs``
+    workers and replayed from ``cache`` when given."""
+    specs = scenario_suite_specs(params, scenarios, stacks, seed, timers)
+    return execute_tasks(
+        specs, run_scenario_task, jobs=jobs, cache=cache,
+        key_fn=scenario_task_key, encode=encode_scenario_outcome,
+        decode=decode_scenario_outcome, report=report,
+    )

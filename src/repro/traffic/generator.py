@@ -143,6 +143,11 @@ class ReceiverAnalyzer:
         else:
             self._highest[flow] = payload.seq
 
+    def flow_received(self, src: Ipv4Address, src_port: int) -> int:
+        """Distinct sequence numbers seen from one flow — per-sender
+        delivery accounting when several bursts share a receiver."""
+        return len(self._flows.get((src.value, src_port), ()))
+
     def report(self, sender: TrafficSender) -> TrafficReport:
         return TrafficReport(
             sent=sender.sent,

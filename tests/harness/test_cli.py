@@ -89,3 +89,71 @@ def test_experiment_rejects_bad_direction():
     with pytest.raises(ValueError):
         run_packet_loss_experiment(two_pod_params(), StackKind.MTP, "TC1",
                                    direction="sideways")
+
+
+def test_stacks_json_is_machine_readable(capsys):
+    import json
+
+    from repro.stacks import available_stacks
+
+    entries = json.loads(run_cli(capsys, "stacks", "--json"))
+    assert [e["name"] for e in entries] == list(available_stacks())
+    for entry in entries:
+        assert set(entry) == {"name", "display", "description", "params"}
+    by_name = {e["name"]: e for e in entries}
+    assert by_name["mtp-spray"]["params"] == {"per_packet_spray": True}
+
+
+def test_scenario_list(capsys):
+    out = run_cli(capsys, "scenario", "list")
+    for name in ("tc1", "tc4", "flap-storm", "double-cut", "drain",
+                 "rolling-restart"):
+        assert name in out
+
+
+def test_scenario_show_emits_loadable_json(capsys, tmp_path):
+    import json
+
+    from repro.scenario import Scenario, get_scenario
+
+    out = run_cli(capsys, "scenario", "show", "double-cut")
+    assert Scenario.from_payload(json.loads(out)) == \
+        get_scenario("double-cut")
+    # and the shown JSON round-trips through --file
+    path = tmp_path / "custom.json"
+    path.write_text(out)
+    out2 = run_cli(capsys, "scenario", "show", "--file", str(path))
+    assert json.loads(out2) == json.loads(out)
+
+
+def test_scenario_run(capsys, tmp_path):
+    out = run_cli(capsys, "scenario", "run", "tc2", "--stack", "mtp",
+                  "--cache-dir", str(tmp_path))
+    assert "tc2" in out and "conv" in out
+    assert "1 scenario runs" in out
+    # second invocation replays from the cache
+    out2 = run_cli(capsys, "scenario", "run", "tc2", "--stack", "mtp",
+                   "--cache-dir", str(tmp_path))
+    assert "1 from cache" in out2
+
+
+def test_scenario_run_digests_flag(capsys):
+    out = run_cli(capsys, "scenario", "run", "tc4", "--stack", "mtp",
+                  "--no-cache", "--digests")
+    prefix = out.splitlines()[0].split()[0]
+    assert len(prefix) == 16 and all(c in "0123456789abcdef"
+                                     for c in prefix)
+
+
+def test_scenario_rejects_unknown_names(capsys):
+    assert main(["scenario", "show", "tc9"]) == 2
+    assert "unknown scenario" in capsys.readouterr().err
+
+
+def test_scenario_rejects_bad_target(tmp_path, capsys):
+    path = tmp_path / "bad.json"
+    path.write_text('{"name": "bad", "events": [{"op": "iface_down", '
+                    '"target": "tor[999].uplink[0]"}]}')
+    assert main(["scenario", "run", "--file", str(path), "--stack", "mtp",
+                 "--no-cache"]) == 2
+    assert "out of range" in capsys.readouterr().err

@@ -12,7 +12,7 @@ from repro.sim.units import MILLISECOND, SECOND
 from repro.topology.clos import two_pod_params
 from repro.core.neighbor import NeighborState
 from repro.harness.experiments import StackKind, build_and_converge
-from repro.harness.failures import FailureInjector
+from repro.harness.failures import FailureInjector, UnknownTargetError
 
 
 @pytest.fixture
@@ -152,3 +152,47 @@ def test_flap_mid_probation_restarts_acceptance_count():
     injector.restore_interface(agg, agg_iface.name)
     world.run_for(1 * SECOND)
     assert neighbor.up
+
+
+# ----------------------------------------------------------------------
+# up-front target validation
+# ----------------------------------------------------------------------
+def test_unknown_node_raises_descriptive_error(pair):
+    world, _ = pair
+    injector = FailureInjector(world)
+    with pytest.raises(UnknownTargetError, match="unknown node 'C'"):
+        injector.fail_interface("C", "eth0")
+    with pytest.raises(UnknownTargetError, match="the world has: A, B"):
+        injector.fail_node("C")
+
+
+def test_unknown_interface_raises_descriptive_error(pair):
+    world, link = pair
+    injector = FailureInjector(world)
+    with pytest.raises(UnknownTargetError,
+                       match="node A has no interface 'eth99'"):
+        injector.fail_interface("A", "eth99")
+    with pytest.raises(UnknownTargetError, match=link.end_b.name):
+        injector.restore_interface("B", "nope")
+
+
+def test_scheduled_injection_validates_up_front(pair):
+    """A bad target fails at scheduling time, not deep inside the
+    event loop thousands of simulated microseconds later."""
+    world, _ = pair
+    injector = FailureInjector(world)
+    with pytest.raises(UnknownTargetError):
+        injector.fail_interface("A", "eth99", at=world.sim.now + 10_000)
+    assert injector.events == []
+    world.run()  # nothing latent was scheduled
+
+
+def test_unknown_target_error_is_a_key_error(pair):
+    world, _ = pair
+    injector = FailureInjector(world)
+    with pytest.raises(KeyError):  # pre-existing catchers keep working
+        injector.fail_node("missing")
+    try:
+        injector.fail_node("missing")
+    except UnknownTargetError as exc:
+        assert "missing" in str(exc)  # no KeyError repr-quoting noise
