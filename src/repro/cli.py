@@ -16,6 +16,9 @@ simulator-era equivalent of the paper's FABRIC automation entry points:
     python -m repro scenario show flap-storm          # canonical JSON
     python -m repro scenario run --stack mtp --jobs 4 # run the library
     python -m repro scenario run tc1 drain --stack bgp-bfd --stack mtp
+    python -m repro chaos    --jobs 4                 # false-positive suite
+    python -m repro chaos    --stack mtp --rate 0 --rate 0.1
+    python -m repro pathtrace --stack mtp --scenario gray-uplink
 
 ``--stack`` accepts any name in the stack registry (see ``stacks``);
 registering a new stack via :func:`repro.stacks.register_stack` makes it
@@ -190,7 +193,8 @@ def cmd_sweep(args) -> int:
     report = FanoutReport()
     t0 = time.perf_counter()
     outcomes = single_failure_sweep_outcomes(
-        _params(args), args.stack, seed=args.seed, jobs=args.jobs,
+        _params(args), args.stack, seed=args.seed,
+        ambient_loss=args.ambient_loss, jobs=args.jobs,
         cache=_cache_from(args), report=report,
     )
     elapsed = time.perf_counter() - t0
@@ -271,6 +275,77 @@ def cmd_scenario(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    from repro.harness.chaos import (
+        DEFAULT_RATES,
+        clean_fabric_violations,
+        run_chaos_suite,
+        summarize,
+    )
+
+    stacks = args.stack or ["mtp", "bgp-bfd"]
+    rates = args.rate if args.rate is not None else list(DEFAULT_RATES)
+    report = FanoutReport()
+    t0 = time.perf_counter()
+    outcomes = run_chaos_suite(
+        _params(args), stacks, rates=rates, seed=args.seed,
+        window_ms=args.window_ms, traffic_pps=args.pps,
+        traffic_count=args.count, jobs=args.jobs, cache=_cache_from(args),
+        report=report,
+    )
+    elapsed = time.perf_counter() - t0
+    results = [o.result for o in outcomes]
+    print(summarize(results))
+    print(f"\n{len(outcomes)} chaos points ({report.describe()}), "
+          f"{elapsed:.2f} s wall clock")
+    if args.digests:
+        for o in outcomes:
+            print(f"  {o.digest[:16]}  {o.result.stack} "
+                  f"loss={o.result.loss:.2f}")
+    violations = clean_fabric_violations(results)
+    for r in violations:
+        print(f"error: {r.stack} false-flagged {r.false_positives} times "
+              f"on a CLEAN fabric (loss 0.0)", file=sys.stderr)
+    return 1 if violations else 0
+
+
+def cmd_pathtrace(args) -> int:
+    from repro.harness.pathtrace import trace_path
+    from repro.harness.report import render_interface_counters
+
+    world, topo, dep = build_and_converge(_params(args), args.stack,
+                                          seed=args.seed)
+    if args.scenario:
+        from repro.scenario import compile_scenario, get_scenario
+
+        scenario = get_scenario(args.scenario)
+        metrics = compile_scenario(scenario, world, topo,
+                                   dep).execute(args.stack, args.seed)
+        print(f"after scenario {scenario.name!r}: "
+              f"traffic {metrics.received}/{metrics.sent}, "
+              f"false positives {metrics.false_positives}, "
+              f"flaps {metrics.flaps}, route churn {metrics.route_churn}\n")
+    src = args.src or topo.first_server_of(topo.all_tors()[0])
+    dst = args.dst or topo.first_server_of(topo.all_tors()[-1])
+    path = trace_path(dep, src, dst, args.src_port)
+    print(f"flow {src} -> {dst} (src port {args.src_port}):")
+    print("  " + " -> ".join(path) + "\n")
+    # both ends of every traversed link, in path order
+    interfaces = []
+    for here, there in zip(path, path[1:]):
+        for iface in topo.node(here).interfaces.values():
+            peer = iface.peer()
+            if peer is not None and peer.node.name == there:
+                interfaces.extend((iface, peer))
+                break
+    print(render_interface_counters(
+        "per-hop interface counters", interfaces,
+        note="txd/rxd = frames dropped: admin-down, uncabled, egress "
+             "queue overflow (congestion), bad FCS (gray link), "
+             "duplicate delivery"))
+    return 0
+
+
 def cmd_config(args) -> int:
     definition = get_stack(args.stack)
     if definition.render_config is None:
@@ -325,6 +400,9 @@ def build_parser() -> argparse.ArgumentParser:
     _add_stack_arg(p_sweep)
     p_sweep.add_argument("--digests", action="store_true",
                          help="print each point's run digest")
+    p_sweep.add_argument("--ambient-loss", type=float, default=0.0,
+                         help="background loss rate on every fabric link "
+                              "while each hard failure plays out")
     _add_fanout_args(p_sweep)
     p_sweep.set_defaults(func=cmd_sweep)
 
@@ -344,6 +422,44 @@ def build_parser() -> argparse.ArgumentParser:
     _add_topo_args(p_scn)
     _add_fanout_args(p_scn)
     p_scn.set_defaults(func=cmd_scenario)
+
+    p_chaos = sub.add_parser(
+        "chaos", help="false-positive chaos suite: loss-rate x stack grid")
+    _add_topo_args(p_chaos)
+    p_chaos.add_argument("--stack", action="append", default=None,
+                         choices=available_stacks(), metavar="STACK",
+                         help="stack(s) to stress; repeatable "
+                              "(default: mtp and bgp-bfd)")
+    p_chaos.add_argument("--rate", action="append", type=float, default=None,
+                         metavar="LOSS",
+                         help="loss rate(s) to test; repeatable "
+                              "(default: 0.0 0.01 0.02 0.05 0.1 0.2 0.3)")
+    p_chaos.add_argument("--window-ms", type=int, default=5000,
+                         help="quiet observation window per point")
+    p_chaos.add_argument("--pps", type=int, default=500,
+                         help="goodput probe rate")
+    p_chaos.add_argument("--count", type=int, default=1000,
+                         help="goodput probe packets (0 disables the probe)")
+    p_chaos.add_argument("--digests", action="store_true",
+                         help="print each point's run digest")
+    _add_fanout_args(p_chaos)
+    p_chaos.set_defaults(func=cmd_chaos)
+
+    p_trace = sub.add_parser(
+        "pathtrace", help="trace a flow's path and show per-hop counters")
+    _add_topo_args(p_trace)
+    _add_stack_arg(p_trace)
+    p_trace.add_argument("--src", default=None,
+                         help="source server (default: first server, "
+                              "first ToR)")
+    p_trace.add_argument("--dst", default=None,
+                         help="destination server (default: first server, "
+                              "last ToR)")
+    p_trace.add_argument("--src-port", type=int, default=40000)
+    p_trace.add_argument("--scenario", default=None,
+                         help="run this library scenario first, so the "
+                              "counters show its damage")
+    p_trace.set_defaults(func=cmd_pathtrace)
 
     p_loss = sub.add_parser("loss", help="run a packet-loss experiment")
     _add_topo_args(p_loss)

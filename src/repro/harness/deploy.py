@@ -134,6 +134,21 @@ class BgpDeployment:
         # merely usually beats it)
         return self.timers.hold_us
 
+    def classify_liveness(self, record) -> Optional[str]:
+        """bgp.session transitions: hold-timer / BFD / TCP-give-up downs
+        are timer detections, interface-down is the local admin event."""
+        if record.category != "bgp.session":
+            return None
+        message = record.message
+        if message.endswith(" up"):
+            return "up"
+        if ("(hold-timer)" in message or "(bfd)" in message
+                or "(tcp:retransmit-timeout)" in message):
+            return "down-detected"
+        if "(interface-down)" in message:
+            return "down-admin"
+        return None  # notifications, sympathetic tcp teardowns, ...
+
     def table_stats(self, node: str) -> TableStats:
         table = self.stacks[node].table
         return TableStats(entries=len(table),
@@ -271,6 +286,20 @@ class MtpDeployment:
 
     def detection_bound_us(self) -> int:
         return self.timers.dead_us
+
+    def classify_liveness(self, record) -> Optional[str]:
+        """mtp.neighbor transitions: dead-timer downs are the
+        Quick-to-Detect declarations, local-port-down the admin event."""
+        if record.category != "mtp.neighbor":
+            return None
+        message = record.message
+        if " up (" in message:
+            return "up"
+        if message.endswith("(dead-timer)"):
+            return "down-detected"
+        if message.endswith("(local-port-down)"):
+            return "down-admin"
+        return None
 
     def table_stats(self, node: str) -> TableStats:
         table = self.mtp_nodes[node].table

@@ -10,6 +10,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.net.impairment import (
+    DIRECTIONS,
+    ImpairmentProfile,
+    rng_stream_name,
+)
 from repro.net.world import World
 from repro.topology.clos import ClosTopology, FailureCase
 
@@ -37,7 +42,7 @@ class InjectedFailure:
     node: str
     interface: str
     time: int
-    kind: str  # "down" | "up"
+    kind: str  # "down" | "up" | "impair" | "clear"
 
 
 class FailureInjector:
@@ -97,6 +102,85 @@ class FailureInjector:
             self.fail_interface(node_name, iface_name, at=base + i * cycle)
             self.restore_interface(node_name, iface_name,
                                    at=base + i * cycle + period_us)
+
+    # ------------------------------------------------------------------
+    # gray failures — see repro.net.impairment
+    # ------------------------------------------------------------------
+    def _checked_cabled(self, node_name: str, iface_name: str):
+        self._check_target(node_name, iface_name)
+        iface = self.world.nodes[node_name].interfaces[iface_name]
+        if iface.link is None:
+            raise UnknownTargetError(
+                f"{node_name}:{iface_name} is not cabled; cannot impair "
+                f"an unconnected interface")
+        return iface
+
+    @staticmethod
+    def _checked_direction(direction: str) -> None:
+        if direction not in DIRECTIONS:
+            raise ValueError(
+                f"direction must be one of {', '.join(DIRECTIONS)}, "
+                f"got {direction!r}")
+
+    def impair_link(self, node_name: str, iface_name: str,
+                    profile: ImpairmentProfile, direction: str = "both",
+                    at: Optional[int] = None) -> None:
+        """Attach an impairment profile to the link behind
+        ``node:iface``.  ``direction`` is from that interface's point of
+        view: ``"tx"`` degrades frames it sends, ``"rx"`` frames it
+        receives, ``"both"`` a symmetric gray link.  Each impaired
+        direction draws from its own named RNG stream
+        (``impair:<sender>``), so injection order never perturbs any
+        other stream."""
+        self._checked_cabled(node_name, iface_name)
+        self._checked_direction(direction)
+        if at is None:
+            self._do_impair(node_name, iface_name, profile, direction)
+        else:
+            self.world.sim.schedule_at(at, self._do_impair, node_name,
+                                       iface_name, profile, direction)
+
+    def clear_impairment(self, node_name: str, iface_name: str,
+                         direction: str = "both",
+                         at: Optional[int] = None) -> None:
+        self._checked_cabled(node_name, iface_name)
+        self._checked_direction(direction)
+        if at is None:
+            self._do_clear(node_name, iface_name, direction)
+        else:
+            self.world.sim.schedule_at(at, self._do_clear, node_name,
+                                       iface_name, direction)
+
+    def _senders(self, node_name: str, iface_name: str, direction: str):
+        iface = self.world.nodes[node_name].interfaces[iface_name]
+        peer = iface.link.other_end(iface)
+        if direction == "tx":
+            return [iface]
+        if direction == "rx":
+            return [peer]
+        return [iface, peer]
+
+    def _do_impair(self, node_name: str, iface_name: str,
+                   profile: ImpairmentProfile, direction: str) -> None:
+        for sender in self._senders(node_name, iface_name, direction):
+            rng = self.world.rng.stream(rng_stream_name(sender.full_name))
+            sender.link.set_impairment(sender, profile, rng)
+        self.events.append(InjectedFailure(
+            node=node_name, interface=iface_name,
+            time=self.world.sim.now, kind="impair"))
+        self.world.trace.emit(node_name, "fail.impair",
+                              f"{iface_name} impaired ({direction})",
+                              **profile.to_payload())
+
+    def _do_clear(self, node_name: str, iface_name: str,
+                  direction: str) -> None:
+        for sender in self._senders(node_name, iface_name, direction):
+            sender.link.clear_impairment(sender)
+        self.events.append(InjectedFailure(
+            node=node_name, interface=iface_name,
+            time=self.world.sim.now, kind="clear"))
+        self.world.trace.emit(node_name, "fail.impair",
+                              f"{iface_name} cleared ({direction})")
 
     # ------------------------------------------------------------------
     # extended failure cases (paper section IX future work)

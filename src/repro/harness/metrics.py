@@ -8,9 +8,10 @@ same data sources (logs + tshark) the paper's scripts parse.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional
+from typing import Callable, Iterable, Optional
 
-from repro.sim.trace import TraceLog
+from repro.harness.failures import InjectedFailure
+from repro.sim.trace import TraceLog, TraceRecord
 from repro.sim.units import SECOND
 from repro.net.capture import Capture
 from repro.stack.ethernet import ETHERTYPE_IPV4, ETHERTYPE_MTP, EthernetFrame
@@ -45,6 +46,108 @@ def blast_radius(
         for name, table in tables.items()
         if name not in excluded and table.change_count > before.get(name, 0)
     )
+
+
+def route_churn(before: dict[str, int], tables: dict[str, object]) -> int:
+    """Total forwarding-table changes since ``before``, summed over all
+    routers — the stability score for gray-failure runs.  Blast radius
+    asks *how many* routers moved; churn asks *how much* they moved (a
+    detector flapping on a lossy-but-healthy link keeps re-announcing
+    and the count climbs even though the router set stays small)."""
+    return sum(max(0, table.change_count - before.get(name, 0))
+               for name, table in tables.items())
+
+
+# ----------------------------------------------------------------------
+# liveness classification / false positives
+# ----------------------------------------------------------------------
+# classify_liveness hook values (see repro.stacks.base.Deployment):
+LIVENESS_DETECTED = "down-detected"   # a liveness timer declared the peer dead
+LIVENESS_ADMIN = "down-admin"         # local link-down event (real fault)
+LIVENESS_UP = "up"                    # adjacency/session (re-)established
+
+
+@dataclass
+class LivenessStats:
+    """Detector behaviour over an observation window.
+
+    ``false_positives`` counts timer-based down-declarations that no
+    injected *hard* fault (admin-down / crash / cut) explains — the
+    detector fired on a healthy-but-lossy neighbour.  ``flaps`` counts
+    up-transitions after the window opened: every one of them is a
+    down/up cycle the control plane paid reconvergence for.
+    """
+
+    detections: int = 0        # timer-based down declarations
+    admin_downs: int = 0       # local link-down declarations
+    ups: int = 0               # (re-)establishments
+    false_positives: int = 0
+
+    @property
+    def flaps(self) -> int:
+        return self.ups
+
+
+def fault_windows(events: Iterable[InjectedFailure]) -> list[tuple[int, int]]:
+    """Merge injected down/up events into [down, up) wall-time windows
+    (an unrestored fault yields an open-ended window).  Impair/clear
+    events are deliberately ignored: an impaired link is not down."""
+    windows: list[tuple[int, int]] = []
+    open_since: Optional[int] = None
+    depth = 0
+    for event in sorted(events, key=lambda e: e.time):
+        if event.kind == "down":
+            if depth == 0:
+                open_since = event.time
+            depth += 1
+        elif event.kind == "up":
+            depth = max(0, depth - 1)
+            if depth == 0 and open_since is not None:
+                windows.append((open_since, event.time))
+                open_since = None
+    if open_since is not None:
+        windows.append((open_since, -1))  # open-ended
+    return windows
+
+
+def liveness_stats(
+    trace: TraceLog,
+    classify: Callable[[TraceRecord], Optional[str]],
+    events: Iterable[InjectedFailure],
+    since: int,
+    until: Optional[int] = None,
+    detection_bound_us: int = 0,
+) -> LivenessStats:
+    """Fold the trace through a stack's ``classify_liveness`` hook.
+
+    A timer-based detection at time *t* is explained (true positive) if
+    any injected fault window ``[down, up + detection_bound_us)`` covers
+    *t* — the trailing grace admits detections of a fault that was
+    already restored before the timer fired.  Everything else is a
+    false positive.
+    """
+    windows = [(start, (end if end >= 0 else None))
+               for start, end in fault_windows(events)]
+
+    def explained(t: int) -> bool:
+        for start, end in windows:
+            if t >= start and (end is None
+                               or t < end + detection_bound_us):
+                return True
+        return False
+
+    stats = LivenessStats()
+    for record in trace.select(since=since, until=until):
+        kind = classify(record)
+        if kind == LIVENESS_DETECTED:
+            stats.detections += 1
+            if not explained(record.time):
+                stats.false_positives += 1
+        elif kind == LIVENESS_ADMIN:
+            stats.admin_downs += 1
+        elif kind == LIVENESS_UP:
+            stats.ups += 1
+    return stats
 
 
 # ----------------------------------------------------------------------

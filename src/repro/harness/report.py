@@ -34,6 +34,36 @@ def render_table(
     return "\n".join(out)
 
 
+#: Every InterfaceCounters field, in display order — the drop columns
+#: (down / uncabled / queue / corrupt / duplicate) tell congestion,
+#: cabling and gray-link damage apart at a glance.
+COUNTER_COLUMNS = (
+    ("tx_frames", "tx"),
+    ("rx_frames", "rx"),
+    ("tx_dropped_down", "txd-down"),
+    ("rx_dropped_down", "rxd-down"),
+    ("tx_dropped_uncabled", "txd-uncab"),
+    ("tx_dropped_queue", "txd-queue"),
+    ("rx_dropped_corrupt", "rxd-corrupt"),
+    ("rx_duplicate", "rx-dup"),
+)
+
+
+def render_interface_counters(
+    title: str,
+    interfaces: Iterable[object],
+    note: str = "",
+) -> str:
+    """One row per interface, every counter (drops included) a column."""
+    rows = [
+        [f"{iface.node.name}:{iface.name}"]
+        + [getattr(iface.counters, field) for field, _ in COUNTER_COLUMNS]
+        for iface in interfaces
+    ]
+    columns = ["interface"] + [header for _, header in COUNTER_COLUMNS]
+    return render_table(title, columns, rows, note=note)
+
+
 def save_result(results_dir: Path, name: str, text: str) -> Path:
     results_dir.mkdir(parents=True, exist_ok=True)
     path = results_dir / f"{name}.txt"

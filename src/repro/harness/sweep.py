@@ -25,9 +25,11 @@ from typing import Iterable, Optional
 from repro.sim.units import SECOND
 from repro.topology.clos import ClosParams, ClosTopology, TIER_SERVER
 from repro.stacks import StackSpec, StackTimers, resolve_spec
+from repro.net.impairment import ImpairmentProfile
 from repro.harness.cache import ResultCache, task_key
 from repro.harness.digest import run_digest
 from repro.harness.experiments import build_and_converge
+from repro.harness.failures import FailureInjector
 from repro.harness.parallel import FanoutReport, execute_tasks
 from repro.harness.pathtrace import trace_path
 
@@ -59,6 +61,10 @@ class SweepPointSpec:
     seed: int
     point: FailurePoint
     reconverge_margin_us: int
+    #: background loss rate applied to every fabric link while the hard
+    #: failure plays out — sweeping under gray noise instead of a
+    #: pristine fabric.  0.0 (the default) keeps the classic sweep.
+    ambient_loss: float = 0.0
 
 
 @dataclass
@@ -118,6 +124,14 @@ def run_sweep_point(spec: SweepPointSpec) -> SweepOutcome:
     world, topo, deployment = build_and_converge(
         spec.params, spec.stack, spec.seed)
     point = spec.point
+    if spec.ambient_loss > 0.0:
+        injector = FailureInjector(world)
+        profile = ImpairmentProfile(loss=spec.ambient_loss)
+        for p in fabric_failure_points(topo):
+            # per-direction: each fabric interface impairs its tx side
+            # once, so every link ends up lossy both ways
+            injector.impair_link(p.node, p.interface, profile,
+                                 direction="tx")
     topo.node(point.node).interfaces[point.interface].set_admin(False)
     world.run_for(deployment.detection_bound_us()
                   + spec.reconverge_margin_us)
@@ -140,6 +154,11 @@ def _result_payload(result: SweepResult) -> dict:
 def sweep_point_key(spec: SweepPointSpec) -> str:
     """Cache key: the full content of the task, nothing ambient — the
     stack enters as registry name + canonical params, never an enum."""
+    extra = {}
+    if spec.ambient_loss:
+        # only a non-zero rate enters the key: classic (pristine) sweep
+        # entries keep their pre-impairment cache identity
+        extra["ambient_loss"] = spec.ambient_loss
     return task_key(
         "sweep-point",
         params=spec.params,
@@ -149,6 +168,7 @@ def sweep_point_key(spec: SweepPointSpec) -> str:
         seed=spec.seed,
         point=spec.point,
         reconverge_margin_us=spec.reconverge_margin_us,
+        **extra,
     )
 
 
@@ -175,6 +195,7 @@ def sweep_specs(
     timers: Optional[StackTimers] = None,
     points: Optional[list[FailurePoint]] = None,
     reconverge_margin_us: int = 1 * SECOND,
+    ambient_loss: float = 0.0,
 ) -> list[SweepPointSpec]:
     """Expand a sweep into its independent per-point tasks."""
     spec = resolve_spec(stack, timers)
@@ -185,7 +206,8 @@ def sweep_specs(
     return [
         SweepPointSpec(params=params, stack=spec, seed=seed,
                        point=point,
-                       reconverge_margin_us=reconverge_margin_us)
+                       reconverge_margin_us=reconverge_margin_us,
+                       ambient_loss=ambient_loss)
         for point in points
     ]
 
@@ -197,6 +219,7 @@ def single_failure_sweep_outcomes(
     timers: Optional[StackTimers] = None,
     points: Optional[list[FailurePoint]] = None,
     reconverge_margin_us: int = 1 * SECOND,
+    ambient_loss: float = 0.0,
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
     report: Optional[FanoutReport] = None,
@@ -204,7 +227,7 @@ def single_failure_sweep_outcomes(
     """The sweep with digests: fan out over ``jobs`` worker processes,
     replaying already-converged points from ``cache`` when given."""
     specs = sweep_specs(params, stack, seed, timers, points,
-                        reconverge_margin_us)
+                        reconverge_margin_us, ambient_loss)
     return execute_tasks(
         specs, run_sweep_point, jobs=jobs, cache=cache,
         key_fn=sweep_point_key, encode=encode_sweep_outcome,
@@ -219,13 +242,14 @@ def single_failure_sweep(
     timers: Optional[StackTimers] = None,
     points: Optional[list[FailurePoint]] = None,
     reconverge_margin_us: int = 1 * SECOND,
+    ambient_loss: float = 0.0,
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
 ) -> list[SweepResult]:
     """Run the sweep; one fresh world per failure point."""
     outcomes = single_failure_sweep_outcomes(
         params, stack, seed, timers, points, reconverge_margin_us,
-        jobs=jobs, cache=cache,
+        ambient_loss, jobs=jobs, cache=cache,
     )
     return [o.result for o in outcomes]
 

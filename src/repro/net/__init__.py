@@ -8,6 +8,12 @@ exactly what separates TC1 from TC2 and TC3 from TC4 in the evaluation.
 """
 
 from repro.net.interface import Interface, InterfaceCounters
+from repro.net.impairment import (
+    ImpairmentProfile,
+    LinkImpairment,
+    PRESETS,
+    resolve_profile,
+)
 from repro.net.link import Link
 from repro.net.node import Node
 from repro.net.capture import Capture, CaptureRecord, Direction
@@ -16,6 +22,10 @@ from repro.net.world import World
 __all__ = [
     "Interface",
     "InterfaceCounters",
+    "ImpairmentProfile",
+    "LinkImpairment",
+    "PRESETS",
+    "resolve_profile",
     "Link",
     "Node",
     "Capture",

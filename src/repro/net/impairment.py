@@ -1,0 +1,237 @@
+"""Per-direction link impairments: the gray-failure model.
+
+The paper's failure primitive (``ip link set down``) is binary, but real
+fabrics mostly fail *grayly*: a marginal optic loses a few percent of
+frames, corrupts others (bad FCS, dropped by the receiving MAC), and a
+flapping retimer reorders or duplicates what survives — often in one
+direction only.  This module models that regime so the detection-speed /
+false-positive tradeoff (Quick-to-Detect vs Slow-to-Accept vs BFD's
+detect-mult) can actually be measured.
+
+An :class:`ImpairmentProfile` is a frozen, validated bundle of knobs:
+
+* ``loss`` — independent per-frame loss probability;
+* ``ge_p`` / ``ge_r`` / ``ge_loss_bad`` — Gilbert–Elliott two-state
+  burst loss.  The chain sits in a *good* state (lossless) and moves to
+  a *bad* state with probability ``ge_p`` per frame; in the bad state
+  each frame is lost with probability ``ge_loss_bad`` and the chain
+  recovers with probability ``ge_r``.  Expected burst length is
+  ``1/ge_r`` frames.  Independent ``loss`` still applies on top;
+* ``corrupt`` — probability the frame arrives with a bad FCS.  The
+  receiver counts it (``rx_dropped_corrupt``) and drops it, exactly as
+  a real MAC does — the sender's tx counters still advance;
+* ``duplicate`` — probability a second copy of the frame is delivered;
+* ``jitter_us`` — each delivered copy is delayed by an extra uniform
+  integer in ``[0, jitter_us]``, which reorders frames once the draw
+  spread exceeds the inter-frame gap.
+
+Profiles attach to one *direction* of a :class:`~repro.net.link.Link`
+(keyed by the sending interface), so asymmetric gray failures — the
+canonical hard case for liveness protocols — are first-class: impair the
+rx direction of a ToR uplink and the ToR's hellos still arrive fine at
+the agg while the agg's replies die.
+
+Every random draw comes from a dedicated named RNG stream
+(``impair:<node>:<iface>`` of the sending end, created by the caller via
+``world.rng.stream``), so attaching an impairment never perturbs any
+other stream and serial == parallel run digests keep holding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Mapping, Optional
+
+import numpy as np
+
+#: Scenario/CLI shorthand for the direction a profile applies to.
+DIRECTIONS = ("tx", "rx", "both")
+
+#: Fields of :class:`ImpairmentProfile` settable from scenario events.
+PROFILE_FIELDS = ("loss", "corrupt", "duplicate", "jitter_us",
+                  "ge_p", "ge_r", "ge_loss_bad")
+
+
+def rng_stream_name(sender_full_name: str) -> str:
+    """Name of the dedicated RNG stream for one impaired direction."""
+    return f"impair:{sender_full_name}"
+
+
+@dataclass(frozen=True)
+class ImpairmentProfile:
+    """Validated impairment knobs for one link direction."""
+
+    loss: float = 0.0
+    corrupt: float = 0.0
+    duplicate: float = 0.0
+    jitter_us: int = 0
+    ge_p: float = 0.0        # P(good -> bad) per offered frame
+    ge_r: float = 0.0        # P(bad -> good) per offered frame
+    ge_loss_bad: float = 1.0  # loss probability while in the bad state
+
+    def __post_init__(self) -> None:
+        for name in ("loss", "corrupt", "duplicate", "ge_p", "ge_r",
+                     "ge_loss_bad"):
+            value = getattr(self, name)
+            if not isinstance(value, (int, float)) \
+                    or isinstance(value, bool) \
+                    or not 0.0 <= float(value) <= 1.0:
+                raise ValueError(
+                    f"impairment {name}={value!r}: want a probability "
+                    f"in [0, 1]")
+            object.__setattr__(self, name, float(value))
+        if not isinstance(self.jitter_us, int) or isinstance(
+                self.jitter_us, bool) or self.jitter_us < 0:
+            raise ValueError(
+                f"impairment jitter_us={self.jitter_us!r}: want a "
+                f"non-negative integer of microseconds")
+        if self.ge_p > 0.0 and self.ge_r == 0.0:
+            raise ValueError(
+                "impairment ge_p > 0 needs ge_r > 0, or the bad state "
+                "is absorbing and the link is simply dead")
+
+    @property
+    def burst_enabled(self) -> bool:
+        return self.ge_p > 0.0
+
+    @property
+    def is_noop(self) -> bool:
+        return (self.loss == 0.0 and self.corrupt == 0.0
+                and self.duplicate == 0.0 and self.jitter_us == 0
+                and not self.burst_enabled)
+
+    # ------------------------------------------------------------------
+    def to_payload(self) -> dict[str, Any]:
+        """Canonical dict: only non-default fields, sorted keys."""
+        payload: dict[str, Any] = {}
+        defaults = ImpairmentProfile()
+        for name in PROFILE_FIELDS:
+            value = getattr(self, name)
+            if value != getattr(defaults, name):
+                payload[name] = value
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "ImpairmentProfile":
+        unknown = set(payload) - set(PROFILE_FIELDS)
+        if unknown:
+            raise ValueError(
+                f"unknown impairment field(s): {', '.join(sorted(unknown))}")
+        return cls(**dict(payload))
+
+
+#: Named presets usable from scenarios (``"profile": "gray"``) and the
+#: injector.  Values chosen to sit below hard failure but well above a
+#: clean fiber.
+PRESETS: dict[str, ImpairmentProfile] = {
+    # marginal optic: steady independent loss
+    "lossy": ImpairmentProfile(loss=0.05),
+    "very-lossy": ImpairmentProfile(loss=0.20),
+    # dirty connector: frames arrive, but with bad FCS
+    "corrupting": ImpairmentProfile(corrupt=0.10),
+    # burst loss: ~8-frame bursts, entered rarely (Gilbert-Elliott)
+    "bursty": ImpairmentProfile(ge_p=0.02, ge_r=0.125, ge_loss_bad=0.9),
+    # flapping retimer: duplicates and reorders, loses a little
+    "flaky": ImpairmentProfile(loss=0.02, duplicate=0.05, jitter_us=200),
+    # the canonical gray failure: lossy AND corrupting; applied to one
+    # direction only by the gray-* helpers / scenarios
+    "gray": ImpairmentProfile(loss=0.15, corrupt=0.05),
+}
+
+
+def resolve_profile(preset: Optional[str] = None,
+                    **overrides: Any) -> ImpairmentProfile:
+    """Build a profile from an optional preset name plus field overrides.
+
+    ``resolve_profile("gray", loss=0.3)`` starts from the ``gray`` preset
+    and overrides its loss.  Unknown presets and out-of-range fields
+    raise ``ValueError`` — scenario validation calls this up front so a
+    typo fails before any simulation time is spent.
+    """
+    overrides = {k: v for k, v in overrides.items() if v is not None}
+    unknown = set(overrides) - set(PROFILE_FIELDS)
+    if unknown:
+        raise ValueError(
+            f"unknown impairment field(s): {', '.join(sorted(unknown))}")
+    if preset is not None:
+        base = PRESETS.get(preset)
+        if base is None:
+            raise ValueError(
+                f"unknown impairment preset {preset!r}; available: "
+                f"{', '.join(sorted(PRESETS))}")
+        profile = replace(base, **overrides) if overrides else base
+        # re-validate the combination
+        return ImpairmentProfile(**{f: getattr(profile, f)
+                                    for f in PROFILE_FIELDS})
+    profile = ImpairmentProfile(**overrides)
+    if profile.is_noop:
+        raise ValueError(
+            "impairment profile is a no-op: set a preset or at least one "
+            f"of {', '.join(PROFILE_FIELDS)}")
+    return profile
+
+
+@dataclass
+class ImpairmentDecision:
+    """Fate of one offered frame (and its optional duplicate)."""
+
+    lost: bool = False
+    corrupt: bool = False
+    duplicate: bool = False
+    jitter_us: int = 0
+    dup_jitter_us: int = 0
+
+
+class LinkImpairment:
+    """Mutable per-direction impairment state attached to a link.
+
+    Holds the profile, the dedicated RNG stream, the Gilbert–Elliott
+    chain state and running counters.  ``decide()`` draws the fate of
+    one offered frame; the draw order is fixed (burst chain, independent
+    loss, corrupt, duplicate, jitter per delivered copy) and draws only
+    happen for enabled knobs, so a given profile+stream is bit-stable.
+    """
+
+    def __init__(self, profile: ImpairmentProfile,
+                 rng: np.random.Generator) -> None:
+        self.profile = profile
+        self.rng = rng
+        self.bad_state = False
+        self.offered = 0
+        self.lost = 0
+        self.corrupted = 0
+        self.duplicated = 0
+
+    def decide(self) -> ImpairmentDecision:
+        p, rng = self.profile, self.rng
+        self.offered += 1
+        lost = False
+        if p.burst_enabled:
+            if self.bad_state:
+                lost = rng.random() < p.ge_loss_bad
+                if rng.random() < p.ge_r:
+                    self.bad_state = False
+            elif rng.random() < p.ge_p:
+                self.bad_state = True
+        if not lost and p.loss > 0.0:
+            lost = rng.random() < p.loss
+        if lost:
+            self.lost += 1
+            return ImpairmentDecision(lost=True)
+        decision = ImpairmentDecision()
+        if p.corrupt > 0.0 and rng.random() < p.corrupt:
+            decision.corrupt = True
+            self.corrupted += 1
+        if p.duplicate > 0.0 and rng.random() < p.duplicate:
+            decision.duplicate = True
+            self.duplicated += 1
+        if p.jitter_us > 0:
+            decision.jitter_us = int(rng.integers(0, p.jitter_us + 1))
+            if decision.duplicate:
+                decision.dup_jitter_us = int(
+                    rng.integers(0, p.jitter_us + 1))
+        return decision
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<LinkImpairment offered={self.offered} lost={self.lost} "
+                f"corrupted={self.corrupted} duplicated={self.duplicated}>")

@@ -29,6 +29,8 @@ class InterfaceCounters:
     rx_dropped_down: int = 0   # frames arriving while admin-down
     tx_dropped_uncabled: int = 0
     tx_dropped_queue: int = 0  # egress buffer overflow (congestion)
+    rx_dropped_corrupt: int = 0  # bad FCS at the receiving MAC (gray link)
+    rx_duplicate: int = 0      # extra copies delivered by a flaky link
 
 
 class Interface:
@@ -113,11 +115,24 @@ class Interface:
             tap(self, frame, "tx")
         return True
 
-    def deliver(self, frame: EthernetFrame) -> None:
-        """Called by the link when a frame arrives at this end."""
+    def deliver(self, frame: EthernetFrame, corrupt: bool = False,
+                duplicate: bool = False) -> None:
+        """Called by the link when a frame arrives at this end.
+
+        ``corrupt`` frames model a bad FCS: the receiving MAC counts and
+        drops them without handing them to the node, so the protocol
+        above sees pure loss while the counters tell the gray-failure
+        story.  ``duplicate`` marks the extra copy a flaky link
+        delivered; it is counted and then processed normally.
+        """
         if not self.admin_up:
             self.counters.rx_dropped_down += 1
             return
+        if corrupt:
+            self.counters.rx_dropped_corrupt += 1
+            return
+        if duplicate:
+            self.counters.rx_duplicate += 1
         self.counters.rx_frames += 1
         self.counters.rx_bytes += frame.wire_size
         for tap in self.taps:

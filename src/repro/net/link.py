@@ -13,9 +13,12 @@ from __future__ import annotations
 
 from typing import Optional
 
+import numpy as np
+
 from repro.sim.engine import Simulator
 from repro.sim.units import SECOND
 from repro.stack.ethernet import EthernetFrame
+from repro.net.impairment import ImpairmentProfile, LinkImpairment
 from repro.net.interface import Interface
 
 DEFAULT_BANDWIDTH_BPS = 10_000_000_000  # 10 Gb/s
@@ -59,6 +62,18 @@ class Link:
         self.frames_carried = 0
         self.bytes_carried = 0
         self.frames_dropped_queue = 0
+        # Per-direction impairment (gray failures); keys are the sender.
+        self._impairments: dict[Interface, LinkImpairment] = {}
+        # Monotone arrival sequence used as the scheduler priority for
+        # impaired deliveries: with jitter, two frames can land on the
+        # same microsecond, and the explicit (time, priority) key makes
+        # the delivery order a pure function of the transmit order — a
+        # deterministic tiebreak independent of heap insertion details.
+        # Clean links keep priority 0 so their digests are unchanged.
+        self._arrival_seq = 0
+        self.frames_lost_impaired = 0
+        self.frames_corrupted = 0
+        self.frames_duplicated = 0
 
     # ------------------------------------------------------------------
     def other_end(self, iface: Interface) -> Interface:
@@ -72,6 +87,28 @@ class Link:
         """Line-rate serialization delay (padded frames occupy the wire)."""
         bits = frame.padded_wire_size * 8
         return max(1, (bits * SECOND) // self.bandwidth_bps)
+
+    # ------------------------------------------------------------------
+    # impairment (gray failures) — see repro.net.impairment
+    # ------------------------------------------------------------------
+    def set_impairment(self, sender: Interface, profile: ImpairmentProfile,
+                       rng: np.random.Generator) -> LinkImpairment:
+        """Attach ``profile`` to the ``sender`` -> peer direction,
+        replacing any existing impairment on that direction.  ``rng``
+        must be a dedicated named stream (see
+        :func:`repro.net.impairment.rng_stream_name`)."""
+        if sender is not self.end_a and sender is not self.end_b:
+            raise ValueError(f"{sender!r} is not an end of this link")
+        state = LinkImpairment(profile, rng)
+        self._impairments[sender] = state
+        return state
+
+    def clear_impairment(self, sender: Interface) -> None:
+        """Remove any impairment on the ``sender`` -> peer direction."""
+        self._impairments.pop(sender, None)
+
+    def impairment(self, sender: Interface) -> Optional[LinkImpairment]:
+        return self._impairments.get(sender)
 
     # ------------------------------------------------------------------
     def queue_backlog_bytes(self, sender: Interface) -> int:
@@ -98,7 +135,32 @@ class Link:
         self._next_free[sender] = done
         self.frames_carried += 1
         self.bytes_carried += frame.wire_size
-        self.sim.schedule_at(done + self.propagation_us, receiver.deliver, frame)
+        impairment = self._impairments.get(sender)
+        if impairment is None:
+            self.sim.schedule_at(done + self.propagation_us,
+                                 receiver.deliver, frame)
+            return True
+        # Gray path: the frame occupied the wire (tx counters advance at
+        # the sender), but its fate at the far end is drawn from the
+        # direction's dedicated RNG stream.
+        decision = impairment.decide()
+        if decision.lost:
+            self.frames_lost_impaired += 1
+            return True
+        if decision.corrupt:
+            self.frames_corrupted += 1
+        self._arrival_seq += 1
+        self.sim.schedule_at(
+            done + self.propagation_us + decision.jitter_us,
+            receiver.deliver, frame, decision.corrupt, False,
+            priority=self._arrival_seq)
+        if decision.duplicate:
+            self.frames_duplicated += 1
+            self._arrival_seq += 1
+            self.sim.schedule_at(
+                done + self.propagation_us + decision.dup_jitter_us,
+                receiver.deliver, frame, decision.corrupt, True,
+                priority=self._arrival_seq)
         return True
 
     def __repr__(self) -> str:

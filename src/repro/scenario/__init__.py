@@ -5,8 +5,9 @@ ordered list of timestamped events with symbolic targets — that
 serializes to canonical JSON, compiles onto the simulation engine
 against any registered stack, and runs through the same cache/parallel
 machinery as every other experiment task.  The canonical library ships
-eight workloads (``tc1``–``tc4``, ``flap-storm``, ``double-cut``,
-``drain``, ``rolling-restart``); see README "Scenarios".
+ten workloads (``tc1``–``tc4``, ``flap-storm``, ``double-cut``,
+``drain``, ``rolling-restart``, ``gray-uplink``, ``lossy-spine``); see
+README "Scenarios".
 """
 
 from repro.scenario.model import (

@@ -31,7 +31,12 @@ from repro.net.world import World
 from repro.topology.clos import ClosTopology
 from repro.harness.convergence import ConvergenceMonitor
 from repro.harness.failures import FailureInjector
-from repro.harness.metrics import blast_radius, snapshot_table_change_counts
+from repro.harness.metrics import (
+    blast_radius,
+    liveness_stats,
+    route_churn,
+    snapshot_table_change_counts,
+)
 from repro.scenario.model import DOWN_OPS, Scenario, ScenarioError
 from repro.scenario.targets import TargetResolver
 from repro.traffic.generator import ReceiverAnalyzer, TrafficSender
@@ -69,11 +74,19 @@ class ScenarioMetrics:
     duplicated: int = 0
     out_of_order: int = 0
     blackhole_us: int = 0          # longest inferred per-flow outage
+    false_positives: int = 0       # unexplained timer-based detections
+    flaps: int = 0                 # adjacency/session up-transitions
+    route_churn: int = 0           # total table changes (stability score)
     checkpoints: list[Checkpoint] = field(default_factory=list)
 
     @property
     def lost(self) -> int:
         return self.sent - self.received
+
+    @property
+    def goodput(self) -> float:
+        """Delivered fraction of offered traffic (1.0 when no traffic)."""
+        return self.received / self.sent if self.sent else 1.0
 
     @property
     def blast_radius(self) -> int:
@@ -133,6 +146,15 @@ class CompiledScenario:
                         else BASE_TRAFFIC_SRC_PORT + index)
             return (event.op, at_us, src, dst, event.rate_pps, event.count,
                     src_port)
+        if event.op == "impair":
+            return (event.op, at_us, resolver.interface(event.target),
+                    event.impairment_profile(),
+                    event.direction if event.direction is not None
+                    else "both")
+        if event.op == "clear_impairment":
+            return (event.op, at_us, resolver.interface(event.target),
+                    event.direction if event.direction is not None
+                    else "both")
         if event.op == "pause":
             return (event.op, at_us)
         return (event.op, at_us, event.label)  # measure
@@ -197,8 +219,16 @@ class CompiledScenario:
             control_bytes=monitor.update_bytes,
             update_count=monitor.update_count,
             blast_routers=blast_radius(before, deployment.forwarding_tables()),
+            route_churn=route_churn(before, deployment.forwarding_tables()),
             checkpoints=checkpoints,
         )
+        classify = getattr(deployment, "classify_liveness", None)
+        if classify is not None:
+            stats = liveness_stats(
+                world.trace, classify, injector.events, since=start,
+                detection_bound_us=deployment.detection_bound_us())
+            metrics.false_positives = stats.false_positives
+            metrics.flaps = stats.flaps
         self._account_traffic(metrics, bursts)
         return metrics
 
@@ -225,6 +255,12 @@ class CompiledScenario:
             call = (injector.fail_node if op == "node_crash"
                     else injector.restore_node)
             call(action[2], at=when)
+        elif op == "impair":
+            (_, _, (node, iface), profile, direction) = action
+            injector.impair_link(node, iface, profile, direction, at=when)
+        elif op == "clear_impairment":
+            (_, _, (node, iface), direction) = action
+            injector.clear_impairment(node, iface, direction, at=when)
         elif op == "flap_train":
             (_, _, (node, iface), down_us, up_us, count) = action
             injector.flap_interface(node, iface, period_us=down_us,

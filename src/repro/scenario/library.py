@@ -15,7 +15,14 @@ Eight shipped workloads, runnable on any registered stack via
 * ``drain`` — maintenance drain-and-upgrade: a whole aggregation goes
   dark, sits in maintenance, and returns;
 * ``rolling-restart`` — both first-pod aggregations restart in
-  sequence, with measure checkpoints between the waves.
+  sequence, with measure checkpoints between the waves;
+* ``gray-uplink`` — an asymmetric gray failure: one *direction* of a
+  ToR uplink turns lossy and corrupting under crossing traffic.  The
+  link is degraded, never down, so every timer-based down-declaration
+  it provokes shows up in the ``false_positives`` metric;
+* ``lossy-spine`` — an agg-top link runs at 10 % symmetric loss for
+  4 s, then heals: the healthy-but-lossy regime where aggressive
+  detectors (Quick-to-Detect, tight BFD) start false-flagging.
 
 Scenarios are topology-relative (symbolic targets), so the same library
 runs on 2-PoD, 4-PoD or multi-zone fabrics unchanged.
@@ -112,8 +119,47 @@ ROLLING_RESTART = Scenario(
     ),
 )
 
+GRAY_UPLINK = Scenario(
+    name="gray-uplink",
+    description="asymmetric gray failure: the rx direction of the TC1 "
+                "uplink turns lossy+corrupting (the 'gray' preset) for "
+                "3 s under crossing traffic — the link degrades but "
+                "never goes down, so any down-declaration is a false "
+                "positive",
+    settle=100,
+    quiet_ms=1000,
+    max_wait_ms=45_000,
+    events=(
+        ScenarioEvent(op="traffic_burst", at_ms=0, src="server:tor[3]",
+                      dst="server:tor[0]", rate_pps=500, count=2500,
+                      src_port=40000),
+        ScenarioEvent(op="impair", at_ms=200, target="case:TC1",
+                      profile="gray", direction="rx"),
+        ScenarioEvent(op="clear_impairment", at_ms=3200,
+                      target="case:TC1", direction="rx"),
+        ScenarioEvent(op="pause", at_ms=3200, duration_ms=1000),
+    ),
+)
+
+LOSSY_SPINE = Scenario(
+    name="lossy-spine",
+    description="a spine-facing link runs at 10% symmetric loss for 4 s "
+                "then heals — below hard failure, above clean, the "
+                "regime where detector aggressiveness is decided",
+    settle="keepalive-phase",
+    quiet_ms=1000,
+    max_wait_ms=45_000,
+    events=(
+        ScenarioEvent(op="impair", at_ms=0, target="agg[0].uplink[0]",
+                      loss=0.1),
+        ScenarioEvent(op="pause", at_ms=0, duration_ms=4000),
+        ScenarioEvent(op="clear_impairment", at_ms=4000,
+                      target="agg[0].uplink[0]"),
+    ),
+)
+
 CANONICAL = (TC1, TC2, TC3, TC4, FLAP_STORM, DOUBLE_CUT, DRAIN,
-             ROLLING_RESTART)
+             ROLLING_RESTART, GRAY_UPLINK, LOSSY_SPINE)
 
 
 def canonical_scenarios() -> dict[str, Scenario]:

@@ -25,10 +25,12 @@ from dataclasses import dataclass
 from typing import Any, Mapping, Optional, Union
 
 from repro.harness.digest import canonical_json
+from repro.net.impairment import DIRECTIONS, resolve_profile
 
 # Bump when the scenario payload semantics change: the schema number is
 # embedded in every serialized scenario and in every scenario cache key.
-SCENARIO_SCHEMA = 1
+# Schema 2 added the impair/clear_impairment ops (gray failures).
+SCENARIO_SCHEMA = 2
 
 
 class ScenarioError(ValueError):
@@ -49,9 +51,15 @@ _EVENT_FIELDS: dict[str, tuple[tuple[str, ...], tuple[str, ...]]] = {
     "traffic_burst": (("src", "dst", "rate_pps", "count"), ("src_port",)),
     "pause": (("duration_ms",), ()),
     "measure": (("label",), ()),
+    "impair": (("target",),
+               ("profile", "direction", "loss", "corrupt", "duplicate",
+                "jitter_us", "ge_p", "ge_r", "ge_loss_bad")),
+    "clear_impairment": (("target",), ("direction",)),
 }
 
-# events that begin an outage (used for the detection-time metric)
+# events that begin an outage (used for the detection-time metric).
+# impair is deliberately NOT here: an impaired link is degraded, not
+# down, so any down-declaration it provokes is a false positive.
 DOWN_OPS = ("iface_down", "link_cut", "node_crash", "flap_train")
 
 
@@ -72,6 +80,15 @@ class ScenarioEvent:
     up_ms: Optional[int] = None      # flap_train up-window (default: down)
     duration_ms: Optional[int] = None  # pause
     label: Optional[str] = None      # measure checkpoint name
+    profile: Optional[str] = None    # impair: preset name (see net.impairment)
+    direction: Optional[str] = None  # impair: "tx" | "rx" | "both"
+    loss: Optional[float] = None     # impair: independent loss probability
+    corrupt: Optional[float] = None  # impair: bad-FCS probability
+    duplicate: Optional[float] = None  # impair: duplication probability
+    jitter_us: Optional[int] = None  # impair: reordering jitter bound
+    ge_p: Optional[float] = None     # impair: Gilbert-Elliott P(good->bad)
+    ge_r: Optional[float] = None     # impair: Gilbert-Elliott P(bad->good)
+    ge_loss_bad: Optional[float] = None  # impair: loss prob in bad state
 
     def __post_init__(self) -> None:
         if self.op not in _EVENT_FIELDS:
@@ -107,6 +124,26 @@ class ScenarioEvent:
             raise ScenarioError(
                 f"{self.op}: up_ms must be a positive integer, "
                 f"got {self.up_ms!r}")
+        if self.direction is not None and self.direction not in DIRECTIONS:
+            raise ScenarioError(
+                f"{self.op}: direction must be one of "
+                f"{', '.join(DIRECTIONS)}, got {self.direction!r}")
+        if self.op == "impair":
+            # validate the preset/field combination up front, before any
+            # simulation time is spent (unknown preset, out-of-range
+            # probability, or an all-default no-op all fail here)
+            try:
+                self.impairment_profile()
+            except ValueError as exc:
+                raise ScenarioError(f"impair: {exc}") from None
+
+    def impairment_profile(self):
+        """The validated :class:`~repro.net.impairment.ImpairmentProfile`
+        this ``impair`` event describes."""
+        return resolve_profile(
+            self.profile, loss=self.loss, corrupt=self.corrupt,
+            duplicate=self.duplicate, jitter_us=self.jitter_us,
+            ge_p=self.ge_p, ge_r=self.ge_r, ge_loss_bad=self.ge_loss_bad)
 
     # ------------------------------------------------------------------
     def duration_ms_total(self) -> int:

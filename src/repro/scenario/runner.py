@@ -108,6 +108,9 @@ def _metrics_payload(metrics: ScenarioMetrics) -> dict:
         "duplicated": metrics.duplicated,
         "out_of_order": metrics.out_of_order,
         "blackhole_us": metrics.blackhole_us,
+        "false_positives": metrics.false_positives,
+        "flaps": metrics.flaps,
+        "route_churn": metrics.route_churn,
         "checkpoints": [[c.label, c.time_us, c.update_count, c.update_bytes]
                         for c in metrics.checkpoints],
     }
@@ -133,6 +136,9 @@ def decode_scenario_outcome(payload: dict) -> ScenarioOutcome:
         duplicated=payload["duplicated"],
         out_of_order=payload["out_of_order"],
         blackhole_us=payload["blackhole_us"],
+        false_positives=payload["false_positives"],
+        flaps=payload["flaps"],
+        route_churn=payload["route_churn"],
         checkpoints=[Checkpoint(label=c[0], time_us=c[1], update_count=c[2],
                                 update_bytes=c[3])
                      for c in payload["checkpoints"]],

@@ -96,6 +96,14 @@ class Deployment(Protocol):
         """Upper bound on one-sided failure-detection latency."""
         ...
 
+    def classify_liveness(self, record: Any) -> Optional[str]:
+        """Classify one trace record as a liveness transition: one of
+        ``"down-detected"`` (a liveness timer declared the peer dead),
+        ``"down-admin"`` (local link-down event), ``"up"``
+        (adjacency/session established), or None for anything else.
+        Feeds the false-positive / flap metrics of the chaos suite."""
+        ...
+
     def table_stats(self, node: str) -> TableStats:
         """Converged forwarding-state size of one node."""
         ...

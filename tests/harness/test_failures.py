@@ -196,3 +196,84 @@ def test_unknown_target_error_is_a_key_error(pair):
         injector.fail_node("missing")
     except UnknownTargetError as exc:
         assert "missing" in str(exc)  # no KeyError repr-quoting noise
+
+
+# ----------------------------------------------------------------------
+# impair_link / clear_impairment (gray failures)
+# ----------------------------------------------------------------------
+def test_impair_link_attaches_per_direction(pair):
+    from repro.net.impairment import ImpairmentProfile
+
+    world, link = pair
+    injector = FailureInjector(world)
+    profile = ImpairmentProfile(loss=0.5)
+    injector.impair_link("A", link.end_a.name, profile, direction="tx")
+    assert link.impairment(link.end_a) is not None
+    assert link.impairment(link.end_b) is None
+    assert [e.kind for e in injector.events] == ["impair"]
+
+    injector.clear_impairment("A", link.end_a.name, direction="tx")
+    assert link.impairment(link.end_a) is None
+    assert [e.kind for e in injector.events] == ["impair", "clear"]
+
+
+def test_impair_link_both_covers_both_senders(pair):
+    from repro.net.impairment import ImpairmentProfile
+
+    world, link = pair
+    injector = FailureInjector(world)
+    injector.impair_link("A", link.end_a.name, ImpairmentProfile(loss=0.1))
+    assert link.impairment(link.end_a) is not None
+    assert link.impairment(link.end_b) is not None
+    # rx from A's point of view = the peer's tx side only
+    injector.clear_impairment("A", link.end_a.name, direction="rx")
+    assert link.impairment(link.end_a) is not None
+    assert link.impairment(link.end_b) is None
+
+
+def test_impair_scheduled_at_takes_effect_then(pair):
+    from repro.net.impairment import ImpairmentProfile
+
+    world, link = pair
+    injector = FailureInjector(world)
+    injector.impair_link("A", link.end_a.name, ImpairmentProfile(loss=0.2),
+                         at=5_000)
+    injector.clear_impairment("A", link.end_a.name, at=9_000)
+    assert link.impairment(link.end_a) is None  # not yet
+    world.run()
+    assert link.impairment(link.end_a) is None  # applied, then cleared
+    assert [(e.kind, e.time) for e in injector.events] == [
+        ("impair", 5_000), ("clear", 9_000)]
+
+
+def test_impair_validates_targets_and_direction_up_front(pair):
+    from repro.net.impairment import ImpairmentProfile
+
+    world, link = pair
+    world.add_node("C", tier=1)  # exists but has no interfaces
+    injector = FailureInjector(world)
+    profile = ImpairmentProfile(loss=0.1)
+    with pytest.raises(UnknownTargetError, match="unknown node"):
+        injector.impair_link("nope", "eth0", profile)
+    with pytest.raises(UnknownTargetError, match="no interface"):
+        injector.impair_link("A", "eth99", profile)
+    with pytest.raises(ValueError, match="direction must be one of"):
+        injector.impair_link("A", link.end_a.name, profile,
+                             direction="sideways")
+    # a scheduled bad call must fail now, not at fire time
+    with pytest.raises(ValueError):
+        injector.clear_impairment("A", link.end_a.name,
+                                  direction="sideways", at=10_000)
+    assert injector.events == []
+    world.run()
+
+
+def test_impair_uncabled_interface_raises():
+    from repro.net.impairment import ImpairmentProfile
+
+    world = World(seed=1)
+    a = world.add_node("A", tier=1)
+    a.add_interface("eth0")
+    injector = FailureInjector(world)
+    with pytest.raises(UnknownTargetError, match="not cabled"):
+        injector.impair_link("A", "eth0", ImpairmentProfile(loss=0.1))

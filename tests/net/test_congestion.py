@@ -131,3 +131,40 @@ def test_incast_congestion_drops_at_bottleneck():
     assert analyzer.received < total_sent
     # the line still delivered at capacity (~10 of the ~16.7 Mb/s offered)
     assert analyzer.received > total_sent * 0.5
+
+
+def test_traffic_burst_scenario_tail_drop_accounting():
+    """End-to-end congestion accounting through the scenario engine: a
+    traffic_burst overdriving a throttled rack downlink must show up,
+    frame for frame, in ``frames_dropped_queue``, the egress interface's
+    ``tx_dropped_queue``, and the scenario's measured loss."""
+    from repro.harness.experiments import build_and_converge
+    from repro.scenario import Scenario, ScenarioEvent, compile_scenario
+    from repro.topology.clos import two_pod_params
+
+    world, topo, dep = build_and_converge(two_pod_params(), "mtp", seed=0)
+    # throttle the destination rack's server downlink: every burst
+    # packet funnels through it, so drops are deterministic in count
+    dst = topo.first_server_of(topo.all_tors()[0])
+    tor_iface = topo.node(dst).interfaces["eth1"].peer()
+    link = tor_iface.link
+    link.bandwidth_bps = 1_000_000
+    link.queue_bytes = 2_000
+
+    scenario = Scenario(
+        name="burst-drop",
+        description="overdrive a 1 Mb/s downlink with ~2.3 Mb/s",
+        settle=100, quiet_ms=200, max_wait_ms=30_000,
+        events=(ScenarioEvent(op="traffic_burst", at_ms=0,
+                              src="server:tor[3]", dst="server:tor[0]",
+                              rate_pps=2000, count=1000, src_port=40000),),
+    )
+    metrics = compile_scenario(scenario, world, topo, dep).execute("mtp", 0)
+
+    assert metrics.sent == 1000
+    drops = link.frames_dropped_queue
+    assert drops > 0
+    assert tor_iface.counters.tx_dropped_queue == drops
+    # congestion is the only loss source: sent - received == queue drops
+    assert metrics.lost == drops
+    assert metrics.received == 1000 - drops

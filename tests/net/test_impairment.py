@@ -1,0 +1,260 @@
+"""The gray-failure layer: per-direction impairments on a Link.
+
+Covers profile validation / presets / payload round-trip, each effect in
+isolation (loss, Gilbert-Elliott bursts, corruption, duplication,
+jitter-driven reordering), direction asymmetry, determinism of the
+dedicated RNG stream, and the equal-timestamp delivery tiebreak.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.impairment import (
+    PRESETS,
+    ImpairmentProfile,
+    LinkImpairment,
+    resolve_profile,
+    rng_stream_name,
+)
+from repro.net.world import World
+from repro.stack.addresses import BROADCAST_MAC
+from repro.stack.ethernet import ETHERTYPE_MTP, EthernetFrame
+from repro.stack.payload import RawBytes
+
+
+def frame(tag: str = "", size: int = 100) -> EthernetFrame:
+    return EthernetFrame(BROADCAST_MAC, BROADCAST_MAC, ETHERTYPE_MTP,
+                         RawBytes(size, tag))
+
+
+@pytest.fixture
+def pair(world):
+    a = world.add_node("A", tier=1)
+    b = world.add_node("B", tier=1)
+    link = world.connect(a, b)
+    return world, link
+
+
+def impair(world, link, sender, **fields):
+    profile = resolve_profile(**fields) if fields else PRESETS["lossy"]
+    rng = world.rng.stream(rng_stream_name(sender.full_name))
+    return link.set_impairment(sender, profile, rng)
+
+
+def blast(world, link, n=400):
+    """Send n frames A->B, spaced so nothing ever queues."""
+    sender = link.end_a
+    for i in range(n):
+        world.sim.schedule_at(world.sim.now + 1 + i * 1000,
+                              sender.send, frame(str(i)))
+    world.run()
+
+
+# ----------------------------------------------------------------------
+# profile validation
+# ----------------------------------------------------------------------
+def test_profile_rejects_out_of_range_probability():
+    with pytest.raises(ValueError):
+        ImpairmentProfile(loss=1.5)
+    with pytest.raises(ValueError):
+        ImpairmentProfile(corrupt=-0.1)
+
+
+def test_profile_rejects_bad_jitter():
+    with pytest.raises(ValueError):
+        ImpairmentProfile(jitter_us=-1)
+    with pytest.raises(ValueError):
+        ImpairmentProfile(jitter_us=1.5)  # type: ignore[arg-type]
+
+
+def test_profile_rejects_absorbing_bad_state():
+    with pytest.raises(ValueError):
+        ImpairmentProfile(ge_p=0.1, ge_r=0.0)
+
+
+def test_resolve_profile_rejects_noop_and_unknowns():
+    with pytest.raises(ValueError):
+        resolve_profile()  # all defaults = no-op
+    with pytest.raises(ValueError):
+        resolve_profile("no-such-preset")
+    with pytest.raises(ValueError):
+        resolve_profile(loss=0.1, sparkle=3)
+
+
+def test_resolve_profile_preset_with_override():
+    profile = resolve_profile("gray", loss=0.3)
+    assert profile.loss == 0.3
+    assert profile.corrupt == PRESETS["gray"].corrupt
+
+
+def test_profile_payload_round_trip():
+    profile = resolve_profile(loss=0.1, jitter_us=50, ge_p=0.05, ge_r=0.5)
+    payload = profile.to_payload()
+    assert payload == {"loss": 0.1, "jitter_us": 50,
+                       "ge_p": 0.05, "ge_r": 0.5}
+    assert ImpairmentProfile.from_payload(payload) == profile
+    with pytest.raises(ValueError):
+        ImpairmentProfile.from_payload({"loss": 0.1, "bogus": 1})
+
+
+def test_all_presets_are_valid_and_not_noop():
+    for name, profile in PRESETS.items():
+        assert not profile.is_noop, name
+        assert ImpairmentProfile.from_payload(
+            profile.to_payload()) == profile
+
+
+# ----------------------------------------------------------------------
+# effects on the wire
+# ----------------------------------------------------------------------
+def test_independent_loss_drops_frames(pair):
+    world, link = pair
+    state = impair(world, link, link.end_a, loss=0.25)
+    blast(world, link, 400)
+    assert link.end_a.counters.tx_frames == 400  # sender saw them all go
+    lost = link.frames_lost_impaired
+    assert lost == state.lost > 0
+    assert link.end_b.counters.rx_frames == 400 - lost
+    # roughly the configured rate (binomial, wide tolerance)
+    assert 0.12 < lost / 400 < 0.40
+
+
+def test_corruption_dropped_at_receiver_with_counter(pair):
+    world, link = pair
+    impair(world, link, link.end_a, corrupt=0.3)
+    delivered = []
+    link.end_b.node.register_handler(ETHERTYPE_MTP,
+                                     lambda i, f: delivered.append(f))
+    blast(world, link, 200)
+    c = link.end_b.counters
+    assert c.rx_dropped_corrupt == link.frames_corrupted > 0
+    assert c.rx_frames == 200 - c.rx_dropped_corrupt == len(delivered)
+
+
+def test_duplication_counts_and_redelivers(pair):
+    world, link = pair
+    impair(world, link, link.end_a, duplicate=0.3)
+    delivered = []
+    link.end_b.node.register_handler(ETHERTYPE_MTP,
+                                     lambda i, f: delivered.append(f))
+    blast(world, link, 200)
+    c = link.end_b.counters
+    assert c.rx_duplicate == link.frames_duplicated > 0
+    assert c.rx_frames == 200 + c.rx_duplicate == len(delivered)
+
+
+def test_gilbert_elliott_bursts(pair):
+    world, link = pair
+    state = impair(world, link, link.end_a, ge_p=0.05, ge_r=0.2,
+                   ge_loss_bad=1.0)
+    n = 1000
+    blast(world, link, n)
+    lost = state.lost
+    assert 0 < lost < n
+    # stationary loss rate of this chain is p/(p+r) = 0.2; assert a wide
+    # envelope around it (burstiness makes the variance large)
+    assert 0.08 < lost / n < 0.40
+
+
+def test_jitter_reorders_back_to_back_frames(pair):
+    world, link = pair
+    impair(world, link, link.end_a, jitter_us=500)
+    order = []
+    link.end_b.node.register_handler(
+        ETHERTYPE_MTP, lambda i, f: order.append(int(f.payload.tag)))
+    # back-to-back: 1 us apart at the source, jitter up to 500 us
+    for i in range(50):
+        world.sim.schedule_at(1 + i, link.end_a.send, frame(str(i)))
+    world.run()
+    assert sorted(order) == list(range(50))  # nothing lost
+    assert order != sorted(order)            # but reordered
+
+
+def test_direction_asymmetry_gray_failure(pair):
+    world, link = pair
+    # impair only B->A; A->B stays clean
+    impair(world, link, link.end_b, loss=0.5)
+    for i in range(100):
+        world.sim.schedule_at(1 + i * 1000, link.end_a.send, frame())
+        world.sim.schedule_at(1 + i * 1000, link.end_b.send, frame())
+    world.run()
+    assert link.end_b.counters.rx_frames == 100       # clean direction
+    assert link.end_a.counters.rx_frames < 100        # gray direction
+    assert link.frames_lost_impaired > 0
+
+
+def test_clear_impairment_restores_clean_delivery(pair):
+    world, link = pair
+    impair(world, link, link.end_a, loss=1.0)
+    blast(world, link, 10)
+    assert link.end_b.counters.rx_frames == 0
+    link.clear_impairment(link.end_a)
+    assert link.impairment(link.end_a) is None
+    blast(world, link, 10)
+    assert link.end_b.counters.rx_frames == 10
+
+
+def test_set_impairment_rejects_foreign_interface(pair):
+    world, link = pair
+    other = world.add_node("C", tier=1).add_interface("eth9")
+    with pytest.raises(ValueError):
+        link.set_impairment(other, PRESETS["lossy"],
+                            world.rng.stream("impair:test"))
+
+
+# ----------------------------------------------------------------------
+# determinism
+# ----------------------------------------------------------------------
+def run_once(seed: int) -> tuple[int, int, int, list[int]]:
+    world = World(seed=seed)
+    a = world.add_node("A", tier=1)
+    b = world.add_node("B", tier=1)
+    link = world.connect(a, b)
+    profile = resolve_profile(loss=0.1, corrupt=0.1, duplicate=0.1,
+                              jitter_us=300)
+    sender = link.end_a
+    link.set_impairment(sender, profile,
+                        world.rng.stream(rng_stream_name(sender.full_name)))
+    order: list[int] = []
+    b.register_handler(ETHERTYPE_MTP,
+                       lambda i, f: order.append(int(f.payload.tag)))
+    for i in range(200):
+        world.sim.schedule_at(1 + i * 3, sender.send, frame(str(i)))
+    world.run()
+    c = link.end_b.counters
+    return (link.frames_lost_impaired, c.rx_dropped_corrupt,
+            c.rx_duplicate, order)
+
+
+def test_same_seed_same_fate_and_order():
+    assert run_once(3) == run_once(3)
+
+
+def test_different_seed_different_fate():
+    assert run_once(3) != run_once(4)
+
+
+def test_decision_stream_is_profile_stable():
+    """The per-direction stream only draws for enabled knobs, so two
+    states with the same profile and seed produce identical decisions."""
+    s1 = LinkImpairment(ImpairmentProfile(loss=0.5),
+                        World(seed=5).rng.stream("impair:one"))
+    s2 = LinkImpairment(ImpairmentProfile(loss=0.5),
+                        World(seed=5).rng.stream("impair:one"))
+    assert [s1.decide().lost for _ in range(100)] == \
+        [s2.decide().lost for _ in range(100)]
+
+
+def test_equal_timestamp_deliveries_follow_transmit_order(pair):
+    """Satellite fix: impaired arrivals carry an explicit monotone
+    priority, so a duplicate landing on the same microsecond as its
+    original always delivers second — transmit order, not heap order."""
+    world, link = pair
+    impair(world, link, link.end_a, duplicate=1.0)
+    seen = []
+    link.end_b.node.register_handler(
+        ETHERTYPE_MTP, lambda i, f: seen.append(i.counters.rx_duplicate))
+    blast(world, link, 5)
+    # each original (dup counter unchanged) precedes its duplicate
+    assert seen == [0, 1, 1, 2, 2, 3, 3, 4, 4, 5]

@@ -19,7 +19,8 @@ from repro.topology.clos import two_pod_params
 def test_library_names_and_lookup():
     names = list(canonical_scenarios())
     assert names == ["tc1", "tc2", "tc3", "tc4", "flap-storm",
-                     "double-cut", "drain", "rolling-restart"]
+                     "double-cut", "drain", "rolling-restart",
+                     "gray-uplink", "lossy-spine"]
     assert get_scenario("flap-storm").name == "flap-storm"
     with pytest.raises(ScenarioError, match="unknown scenario"):
         get_scenario("tc9")
@@ -58,6 +59,40 @@ def test_flap_storm_blackholes_crossing_traffic(stack):
     assert metrics.lost > 0
     assert metrics.blackhole_us > 0
     assert metrics.detection_us is not None and metrics.detection_us > 0
+
+
+def test_gray_uplink_degrades_goodput_without_hard_failure():
+    """The gray scenario loses traffic while every interface stays
+    admin-up — degradation the binary failure model cannot express."""
+    metrics, world = run_scenario(get_scenario("gray-uplink"),
+                                  two_pod_params(), "mtp", seed=0,
+                                  return_world=True)
+    assert metrics.sent == 2500
+    assert metrics.lost > 0
+    assert 0.7 < metrics.goodput < 1.0
+    assert all(iface.admin_up for node in world.nodes.values()
+               for iface in node.interfaces.values())
+    # bad-FCS drops are visible at the receiving MAC
+    corrupt = sum(iface.counters.rx_dropped_corrupt
+                  for node in world.nodes.values()
+                  for iface in node.interfaces.values())
+    assert corrupt > 0
+
+
+def test_lossy_spine_false_flags_quick_to_detect_but_not_bfd():
+    """The detection-aggressiveness tradeoff, quantified: at 10% loss
+    MR-MTP's one-missed-hello dead timer false-flags the healthy
+    neighbour (and pays route churn for it), while BFD's detect-mult=3
+    rides the loss out."""
+    mtp = run_scenario(get_scenario("lossy-spine"), two_pod_params(),
+                       "mtp", seed=0)
+    assert mtp.false_positives > 0
+    assert mtp.flaps > 0
+    assert mtp.route_churn > 0
+    bfd = run_scenario(get_scenario("lossy-spine"), two_pod_params(),
+                       "bgp-bfd", seed=0)
+    assert bfd.false_positives == 0
+    assert bfd.flaps == 0
 
 
 def test_drain_crash_and_restart_hit_the_same_agg():

@@ -150,3 +150,49 @@ def test_from_payload_rejects_unknown_fields_and_schema():
 def test_from_json_rejects_malformed_text():
     with pytest.raises(ScenarioError, match="not valid JSON"):
         Scenario.from_json("{nope")
+
+
+# ----------------------------------------------------------------------
+# impairment events (schema 2)
+# ----------------------------------------------------------------------
+def test_impair_event_validates_profile_up_front():
+    # a bare impair with no knobs is a no-op: rejected
+    with pytest.raises(ScenarioError, match="no-op"):
+        ScenarioEvent(op="impair", target="case:TC1")
+    with pytest.raises(ScenarioError, match="unknown impairment preset"):
+        ScenarioEvent(op="impair", target="case:TC1", profile="sparkly")
+    with pytest.raises(ScenarioError, match="probability"):
+        ScenarioEvent(op="impair", target="case:TC1", loss=1.5)
+    with pytest.raises(ScenarioError, match="direction"):
+        ScenarioEvent(op="impair", target="case:TC1", loss=0.1,
+                      direction="sideways")
+
+
+def test_impair_event_resolves_preset_with_overrides():
+    event = ScenarioEvent(op="impair", target="case:TC1", profile="gray",
+                          loss=0.3, direction="rx")
+    profile = event.impairment_profile()
+    assert profile.loss == 0.3
+    assert profile.corrupt > 0  # inherited from the preset
+
+
+def test_impair_fields_rejected_on_other_ops():
+    with pytest.raises(ScenarioError, match="not valid"):
+        ScenarioEvent(op="iface_down", target="case:TC1", loss=0.1)
+
+
+def test_impair_event_payload_roundtrip():
+    event = ScenarioEvent(op="impair", at_ms=10, target="case:TC1",
+                          loss=0.1, jitter_us=200, direction="both")
+    assert event.to_payload() == {
+        "op": "impair", "at_ms": 10, "target": "case:TC1",
+        "direction": "both", "loss": 0.1, "jitter_us": 200}
+    assert ScenarioEvent.from_payload(event.to_payload()) == event
+
+
+def test_impair_is_not_a_down_op():
+    """An impaired link is degraded, not down: detections it provokes
+    count as false positives, and the detection-time metric ignores it."""
+    from repro.scenario.model import DOWN_OPS
+    assert "impair" not in DOWN_OPS
+    assert "clear_impairment" not in DOWN_OPS
