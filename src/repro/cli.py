@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import shlex
 import statistics
 import sys
 import time
@@ -49,7 +50,21 @@ from repro.harness.experiments import (
     run_failure_experiment,
     run_packet_loss_experiment,
 )
-from repro.harness.parallel import FanoutReport
+from repro.harness.parallel import FanoutInterrupted, FanoutReport
+from repro.harness.supervisor import (
+    RetryPolicy,
+    SupervisorInterrupted,
+    SupervisorReport,
+)
+
+# exit codes: experiment findings (regressions) and infra failures
+# (quarantines) must be distinguishable by the caller — a red sweep
+# means the protocol blackholed, a quarantine means the harness did
+EXIT_OK = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+EXIT_INFRA = 3
+EXIT_INTERRUPTED = 130
 
 
 def _add_topo_args(parser: argparse.ArgumentParser) -> None:
@@ -88,10 +103,67 @@ def _add_fanout_args(parser: argparse.ArgumentParser) -> None:
                              f"{default_cache_root()})")
 
 
+def _add_supervisor_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--supervise", action="store_true",
+                        help="run tasks under the fault-tolerant "
+                             "supervisor: per-task watchdog, seeded "
+                             "retry-with-backoff, quarantine")
+    parser.add_argument("--task-deadline", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-task wall-clock deadline; hung workers "
+                             "are killed and retried (implies --supervise)")
+    parser.add_argument("--max-attempts", type=int, default=3,
+                        help="attempts per task before quarantine "
+                             "(supervised runs)")
+    parser.add_argument("--resume", action="store_true",
+                        help="resume an interrupted campaign: replay "
+                             "checkpointed tasks from the result cache, "
+                             "run only the rest (requires the cache)")
+
+
 def _cache_from(args):
     if args.no_cache:
         return None
     return ResultCache(args.cache_dir)
+
+
+def _supervision_from(args):
+    """(RetryPolicy, SupervisorReport) when supervision was requested,
+    else (None, None) — the plain fan-out path."""
+    if not (args.supervise or args.task_deadline is not None):
+        return None, None
+    policy = RetryPolicy(deadline_s=args.task_deadline,
+                         max_attempts=args.max_attempts, seed=args.seed)
+    return policy, SupervisorReport()
+
+
+def _check_resume(args, cache) -> bool:
+    """--resume needs the cache; True when the combination is usable."""
+    if args.resume and cache is None:
+        print("error: --resume replays from the result cache; "
+              "drop --no-cache", file=sys.stderr)
+        return False
+    return True
+
+
+def _campaign_epilogue(args, report, records) -> int:
+    """Shared tail of every campaign command: resume accounting, the
+    quarantine table, and the infra exit code (EXIT_OK when nothing was
+    quarantined)."""
+    from repro.harness.report import render_quarantine_table
+
+    if args.resume:
+        print(f"resume: {report.cached}/{report.total} task(s) replayed "
+              f"from checkpoint, {report.executed} executed")
+    quarantined = [r for r in records if r.state == "quarantined"]
+    if quarantined:
+        print()
+        print(render_quarantine_table(records))
+        print(f"\n{len(quarantined)} task(s) quarantined — infra failure, "
+              f"not an experiment finding (exit {EXIT_INFRA})",
+              file=sys.stderr)
+        return EXIT_INFRA
+    return EXIT_OK
 
 
 def _params(args) -> ClosParams:
@@ -190,22 +262,81 @@ def cmd_sweep(args) -> int:
         summarize,
     )
 
-    report = FanoutReport()
+    policy, sup = _supervision_from(args)
+    cache = _cache_from(args)
+    if not _check_resume(args, cache):
+        return EXIT_USAGE
+    report = sup.fanout if sup is not None else FanoutReport()
     t0 = time.perf_counter()
     outcomes = single_failure_sweep_outcomes(
         _params(args), args.stack, seed=args.seed,
         ambient_loss=args.ambient_loss, jobs=args.jobs,
-        cache=_cache_from(args), report=report,
+        cache=cache, report=None if sup is not None else report,
+        policy=policy, supervisor=sup,
     )
     elapsed = time.perf_counter() - t0
-    print(summarize([o.result for o in outcomes]))
-    print(f"fan-out: {report.describe()}, {elapsed:.2f} s wall clock")
+    results = [o.result for o in outcomes if o is not None]
+    describe = sup.describe() if sup is not None else report.describe()
+    print(summarize(results))
+    print(f"fan-out: {describe}, {elapsed:.2f} s wall clock")
     if args.digests:
         for o in outcomes:
+            if o is None:
+                continue
             p = o.result.point
             print(f"  {o.digest[:16]}  {p.node}:{p.interface}")
-    bad = [o for o in outcomes if not o.result.ok]
-    return 1 if bad else 0
+    records = sup.records if sup is not None else []
+    infra = _campaign_epilogue(args, report, records)
+    if args.report:
+        _write_sweep_report(args.report, results, records, describe)
+    if infra != EXIT_OK:
+        return infra
+    bad = [r for r in results if not r.ok]
+    return EXIT_FINDINGS if bad else EXIT_OK
+
+
+def _write_sweep_report(prefix: str, results, records, describe: str) -> None:
+    """``--report PREFIX``: the sweep summary plus the quarantine table,
+    as PREFIX.txt and PREFIX.html."""
+    from pathlib import Path
+
+    from repro.harness.htmlreport import render_report, table_block
+    from repro.harness.report import (
+        QUARANTINE_COLUMNS,
+        quarantine_rows,
+        render_quarantine_table,
+    )
+    from repro.harness.sweep import summarize
+
+    text = summarize(results)
+    qtable = render_quarantine_table(records)
+    text += "\n\n" + (qtable if qtable else "quarantined tasks: none")
+    text += f"\n\nfan-out: {describe}"
+    txt_path = Path(prefix + ".txt")
+    txt_path.write_text(text + "\n")
+
+    rows = [
+        [f"{r.point.node}:{r.point.interface}", r.point.peer,
+         r.pairs_checked,
+         "OK" if r.ok else f"{len(r.unreachable)} unreachable pair(s)"]
+        for r in results
+    ]
+    blocks = [table_block(
+        "single-failure sweep",
+        ("failure point", "peer", "pairs checked", "verdict"),
+        rows, note=describe)]
+    qrows = quarantine_rows(records)
+    blocks.append(table_block(
+        "quarantined tasks", QUARANTINE_COLUMNS, qrows,
+        note="infra failures the supervisor gave up on — the rest of "
+             "the sweep completed without them"
+        if qrows else "nothing quarantined"))
+    html_path = render_report(
+        "robustness sweep report",
+        "exhaustive single-interface failure sweep with supervisor "
+        "quarantine accounting",
+        blocks, prefix + ".html")
+    print(f"report: {txt_path} and {html_path}")
 
 
 def cmd_loss(args) -> int:
@@ -251,14 +382,21 @@ def cmd_scenario(args) -> int:
 
     scenarios = _load_scenarios(args)
     stacks = args.stack or list(available_stacks())
-    report = FanoutReport()
+    policy, sup = _supervision_from(args)
+    cache = _cache_from(args)
+    if not _check_resume(args, cache):
+        return EXIT_USAGE
+    report = sup.fanout if sup is not None else FanoutReport()
     t0 = time.perf_counter()
     outcomes = run_scenario_suite(
         _params(args), scenarios, stacks, seed=args.seed, jobs=args.jobs,
-        cache=_cache_from(args), report=report,
+        cache=cache, report=None if sup is not None else report,
+        policy=policy, supervisor=sup,
     )
     elapsed = time.perf_counter() - t0
     for outcome in outcomes:
+        if outcome is None:
+            continue
         m = outcome.metrics
         line = (f"{m.stack:<16} {m.scenario:<16} "
                 f"conv {m.convergence_ms:9.2f} ms, "
@@ -270,9 +408,11 @@ def cmd_scenario(args) -> int:
         if args.digests:
             line = f"{outcome.digest[:16]}  {line}"
         print(line)
-    print(f"{len(outcomes)} scenario runs ({report.describe()}), "
+    describe = sup.describe() if sup is not None else report.describe()
+    print(f"{len(outcomes)} scenario runs ({describe}), "
           f"{elapsed:.2f} s wall clock")
-    return 0
+    return _campaign_epilogue(args, report,
+                              sup.records if sup is not None else [])
 
 
 def cmd_chaos(args) -> int:
@@ -285,28 +425,40 @@ def cmd_chaos(args) -> int:
 
     stacks = args.stack or ["mtp", "bgp-bfd"]
     rates = args.rate if args.rate is not None else list(DEFAULT_RATES)
-    report = FanoutReport()
+    policy, sup = _supervision_from(args)
+    cache = _cache_from(args)
+    if not _check_resume(args, cache):
+        return EXIT_USAGE
+    report = sup.fanout if sup is not None else FanoutReport()
     t0 = time.perf_counter()
     outcomes = run_chaos_suite(
         _params(args), stacks, rates=rates, seed=args.seed,
         window_ms=args.window_ms, traffic_pps=args.pps,
-        traffic_count=args.count, jobs=args.jobs, cache=_cache_from(args),
-        report=report,
+        traffic_count=args.count, jobs=args.jobs, cache=cache,
+        report=None if sup is not None else report,
+        policy=policy, supervisor=sup,
     )
     elapsed = time.perf_counter() - t0
-    results = [o.result for o in outcomes]
+    results = [o.result for o in outcomes if o is not None]
+    describe = sup.describe() if sup is not None else report.describe()
     print(summarize(results))
-    print(f"\n{len(outcomes)} chaos points ({report.describe()}), "
+    print(f"\n{len(outcomes)} chaos points ({describe}), "
           f"{elapsed:.2f} s wall clock")
     if args.digests:
         for o in outcomes:
+            if o is None:
+                continue
             print(f"  {o.digest[:16]}  {o.result.stack} "
                   f"loss={o.result.loss:.2f}")
+    infra = _campaign_epilogue(args, report,
+                               sup.records if sup is not None else [])
+    if infra != EXIT_OK:
+        return infra
     violations = clean_fabric_violations(results)
     for r in violations:
         print(f"error: {r.stack} false-flagged {r.false_positives} times "
               f"on a CLEAN fabric (loss 0.0)", file=sys.stderr)
-    return 1 if violations else 0
+    return EXIT_FINDINGS if violations else EXIT_OK
 
 
 def cmd_pathtrace(args) -> int:
@@ -403,7 +555,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--ambient-loss", type=float, default=0.0,
                          help="background loss rate on every fabric link "
                               "while each hard failure plays out")
+    p_sweep.add_argument("--report", metavar="PREFIX", default=None,
+                         help="write PREFIX.txt and PREFIX.html reports "
+                              "(sweep summary + quarantine table)")
     _add_fanout_args(p_sweep)
+    _add_supervisor_args(p_sweep)
     p_sweep.set_defaults(func=cmd_sweep)
 
     p_scn = sub.add_parser(
@@ -421,6 +577,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print each run's digest")
     _add_topo_args(p_scn)
     _add_fanout_args(p_scn)
+    _add_supervisor_args(p_scn)
     p_scn.set_defaults(func=cmd_scenario)
 
     p_chaos = sub.add_parser(
@@ -443,6 +600,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument("--digests", action="store_true",
                          help="print each point's run digest")
     _add_fanout_args(p_chaos)
+    _add_supervisor_args(p_chaos)
     p_chaos.set_defaults(func=cmd_chaos)
 
     p_trace = sub.add_parser(
@@ -480,6 +638,14 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _resume_command(argv) -> str:
+    """The exact command that picks an interrupted campaign back up."""
+    args_list = list(argv) if argv is not None else list(sys.argv[1:])
+    if "--resume" not in args_list:
+        args_list.append("--resume")
+    return shlex.join(["python", "-m", "repro", *args_list])
+
+
 def main(argv=None) -> int:
     from repro.harness.failures import UnknownTargetError
     from repro.scenario import ScenarioError
@@ -490,7 +656,17 @@ def main(argv=None) -> int:
     except (ScenarioError, UnknownTargetError) as exc:
         # bad scenario files / symbolic targets are user input, not bugs
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
+    except (FanoutInterrupted, SupervisorInterrupted) as exc:
+        # completed tasks were checkpointed (when the cache is on) —
+        # nothing already computed needs recomputing
+        print(f"\ninterrupted: {exc.done}/{exc.total} task(s) finished, "
+              f"{exc.salvaged} checkpointed this run; resume with:\n"
+              f"  {_resume_command(argv)}", file=sys.stderr)
+        return EXIT_INTERRUPTED
+    except KeyboardInterrupt:
+        print("\ninterrupted", file=sys.stderr)
+        return EXIT_INTERRUPTED
     except BrokenPipeError:
         # output piped into `head` etc. — exit quietly like other CLIs
         try:

@@ -53,6 +53,11 @@ from repro.harness.metrics import (
 )
 from repro.harness.parallel import FanoutReport, execute_tasks
 from repro.harness.pathtrace import find_crossing_flow
+from repro.harness.supervisor import (
+    RetryPolicy,
+    SupervisorReport,
+    supervise_tasks,
+)
 from repro.traffic.generator import ReceiverAnalyzer, TrafficSender
 
 #: Default loss-rate grid: clean fabric first (the zero-FP guard), then
@@ -253,6 +258,11 @@ def chaos_specs(
     ]
 
 
+def chaos_point_label(spec: ChaosPointSpec) -> str:
+    """Human task label for supervisor records and quarantine tables."""
+    return f"{spec.stack.name} loss={spec.loss:.2f} seed={spec.seed}"
+
+
 def run_chaos_suite(
     params: ClosParams,
     stacks: Sequence,
@@ -265,10 +275,24 @@ def run_chaos_suite(
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
     report: Optional[FanoutReport] = None,
-) -> list[ChaosOutcome]:
-    """Run the full grid through the cache/fan-out machinery."""
+    policy: Optional[RetryPolicy] = None,
+    supervisor: Optional[SupervisorReport] = None,
+) -> list[Optional[ChaosOutcome]]:
+    """Run the full grid through the cache/fan-out machinery.
+
+    With a ``policy`` (or ``supervisor`` report) the grid runs under the
+    fault-tolerant supervisor: quarantined points come back ``None``,
+    the rest of the grid completes.
+    """
     specs = chaos_specs(params, stacks, rates, seed, timers, window_ms,
                         traffic_pps, traffic_count)
+    if policy is not None or supervisor is not None:
+        return supervise_tasks(
+            specs, run_chaos_point, jobs=jobs, policy=policy, cache=cache,
+            key_fn=chaos_point_key, encode=encode_chaos_outcome,
+            decode=decode_chaos_outcome, label_fn=chaos_point_label,
+            report=supervisor,
+        )
     return execute_tasks(
         specs, run_chaos_point, jobs=jobs, cache=cache,
         key_fn=chaos_point_key, encode=encode_chaos_outcome,

@@ -14,6 +14,33 @@ from repro.sim.units import MILLISECOND, SECOND
 from repro.net.world import World
 
 
+class QuiescenceTimeout(TimeoutError):
+    """The control plane failed to go quiet within its budget.
+
+    Replaces the bare :class:`TimeoutError` with enough context to
+    diagnose a supervisor quarantine record without re-running the task:
+    where the simulated clock stood, how many timers were still pending
+    (a runaway flap storm looks very different from a drained queue),
+    and the last trace event emitted.
+    """
+
+    def __init__(self, message: str, *, sim_time_us: int,
+                 pending_events: int, last_event: str = "") -> None:
+        detail = (f"{message} [sim t={sim_time_us} us, "
+                  f"{pending_events} pending timer(s)"
+                  + (f", last event: {last_event}" if last_event else "")
+                  + "]")
+        super().__init__(detail)
+        self.sim_time_us = sim_time_us
+        self.pending_events = pending_events
+        self.last_event = last_event
+
+
+def _last_event_description(world: World) -> str:
+    records = world.trace.records
+    return str(records[-1]) if records else ""
+
+
 class ConvergenceMonitor:
     """Live listener for update-message trace events."""
 
@@ -62,13 +89,20 @@ class ConvergenceMonitor:
         max_wait_us: int = 60 * SECOND,
         slice_us: int = 50 * MILLISECOND,
         min_wait_us: int = 0,
-    ) -> None:
+        strict: bool = False,
+    ) -> bool:
         """Advance the simulation until no update has been seen for
         ``quiet_us`` (bounded by ``max_wait_us`` after arming).
 
         ``min_wait_us`` must cover the slowest failure-detection path —
         the far end of a one-sided failure only reacts after its dead /
         hold timer, so stopping earlier would miss its updates entirely.
+
+        Returns True once quiescence was reached.  Hitting the
+        ``max_wait_us`` budget first returns False — or, with
+        ``strict=True``, raises :class:`QuiescenceTimeout` (never-quiet
+        runs such as a flap storm under persistent loss legitimately
+        saturate the budget, so raising is opt-in).
         """
         assert self.armed_at is not None, "arm() before run_until_quiet()"
         sim = self.world.sim
@@ -82,7 +116,14 @@ class ConvergenceMonitor:
             if reference is None:
                 reference = self.armed_at
             if sim.now - reference >= quiet_us:
-                return
+                return True
+        if strict:
+            raise QuiescenceTimeout(
+                f"updates did not quiesce within {max_wait_us} us of "
+                f"arming ({self.update_count} updates seen)",
+                sim_time_us=sim.now, pending_events=sim.pending_events,
+                last_event=_last_event_description(self.world))
+        return False
 
     def observe_for(self, duration_us: int,
                     slice_us: int = 50 * MILLISECOND) -> None:
@@ -123,7 +164,9 @@ def converge_from_cold(
                 return
         else:
             satisfied_since = None
-    raise TimeoutError(
+    raise QuiescenceTimeout(
         f"deployment did not converge within {max_time_us} us "
-        f"(check={check.__name__ if hasattr(check, '__name__') else check})"
+        f"(check={check.__name__ if hasattr(check, '__name__') else check})",
+        sim_time_us=sim.now, pending_events=sim.pending_events,
+        last_event=_last_event_description(world),
     )

@@ -272,6 +272,25 @@ def _chart_block(title: str, data: SeriesSet, unit: str, note: str,
     return "".join(block)
 
 
+def table_block(title: str, columns: Sequence[str],
+                rows: Sequence[Sequence[object]], note: str = "") -> str:
+    """A plain (always-visible) table block — quarantine lists, sweep
+    summaries and other tabular sections that are not charts."""
+    block = [f"<h2>{html.escape(title)}</h2>"]
+    if note:
+        block.append(f'<p class="note">{html.escape(note)}</p>')
+    head = "".join(f"<th>{html.escape(str(c))}</th>" for c in columns)
+    body = []
+    for row in rows:
+        cells = "".join(f"<td>{html.escape(str(cell))}</td>" for cell in row)
+        body.append(f"<tr>{cells}</tr>")
+    block.append(
+        f"<table><thead><tr>{head}</tr></thead>"
+        f"<tbody>{''.join(body)}</tbody></table>"
+    )
+    return "".join(block)
+
+
 def render_report(title: str, intro: str, blocks: Sequence[str],
                   out_path: Union[str, Path]) -> Path:
     """Assemble chart blocks into one self-contained HTML file."""

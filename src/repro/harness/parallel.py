@@ -18,7 +18,7 @@ order.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, Sequence
 
@@ -28,6 +28,19 @@ from repro.harness.cache import ResultCache
 class DeterminismError(AssertionError):
     """Serial and parallel execution disagreed — a nondeterminism bug
     (wall-clock dependence, cross-task shared state, unseeded RNG...)."""
+
+
+class FanoutInterrupted(KeyboardInterrupt):
+    """Ctrl-C during a fan-out.  Results that had already completed were
+    salvaged into the cache (when one is attached) before re-raising, so
+    re-running the same command resumes instead of starting over."""
+
+    def __init__(self, done: int, total: int, salvaged: int) -> None:
+        super().__init__(f"interrupted: {done}/{total} tasks done "
+                         f"({salvaged} checkpointed this run)")
+        self.done = done
+        self.total = total
+        self.salvaged = salvaged
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:
@@ -103,21 +116,71 @@ def execute_tasks(
         else:
             pending.append((i, spec, None))
 
+    def settle(slot: tuple[int, Any, Optional[str]], outcome: Any) -> None:
+        """Record one fresh result and checkpoint it immediately — a
+        later interrupt must not lose work that already finished."""
+        i, _, key = slot
+        outcomes[i] = outcome
+        report.executed += 1
+        if cache is not None and key is not None:
+            cache.put(key, encode(outcome))
+            report.cache_stored += 1
+
+    def interrupted() -> FanoutInterrupted:
+        done = report.cached + report.executed
+        return FanoutInterrupted(done=done, total=report.total,
+                                 salvaged=report.cache_stored)
+
     if pending:
         todo = [spec for _, spec, _ in pending]
         if jobs <= 1 or len(todo) == 1:
-            fresh = [worker(spec) for spec in todo]
+            for slot in pending:
+                try:
+                    outcome = worker(slot[1])
+                except KeyboardInterrupt:
+                    raise interrupted() from None
+                settle(slot, outcome)
         else:
             chunk = chunk_size or default_chunk_size(len(todo), jobs)
-            with ProcessPoolExecutor(max_workers=min(jobs, len(todo))) as pool:
-                fresh = list(pool.map(worker, todo, chunksize=chunk))
-        for (i, _, key), outcome in zip(pending, fresh):
-            outcomes[i] = outcome
-            if cache is not None and key is not None:
-                cache.put(key, encode(outcome))
-                report.cache_stored += 1
-        report.executed += len(fresh)
+            chunks = [pending[i:i + chunk]
+                      for i in range(0, len(pending), chunk)]
+            pool = ProcessPoolExecutor(max_workers=min(jobs, len(todo)))
+            futures: dict = {}
+            collected: set = set()
+            try:
+                for group in chunks:
+                    futures[pool.submit(
+                        _run_chunk, worker,
+                        [spec for _, spec, _ in group])] = group
+                not_done = set(futures)
+                while not_done:
+                    done, not_done = wait(not_done,
+                                          return_when=FIRST_COMPLETED)
+                    for future in done:
+                        for slot, outcome in zip(futures[future],
+                                                 future.result()):
+                            settle(slot, outcome)
+                        collected.add(future)
+                pool.shutdown()
+            except KeyboardInterrupt:
+                # salvage chunks that finished but were not yet collected
+                for future, group in futures.items():
+                    if (future not in collected and future.done()
+                            and not future.cancelled()
+                            and future.exception() is None):
+                        for slot, outcome in zip(group, future.result()):
+                            settle(slot, outcome)
+                pool.shutdown(wait=False, cancel_futures=True)
+                raise interrupted() from None
+            except BaseException:
+                pool.shutdown(wait=False, cancel_futures=True)
+                raise
     return outcomes
+
+
+def _run_chunk(worker: Callable[[Any], Any], specs: list[Any]) -> list[Any]:
+    """Top-level chunk runner (the process pool needs to pickle it)."""
+    return [worker(spec) for spec in specs]
 
 
 def assert_fanout_deterministic(

@@ -64,6 +64,44 @@ def render_interface_counters(
     return render_table(title, columns, rows, note=note)
 
 
+#: Quarantine-table columns shared by the text and HTML renderings, so
+#: the two report formats can never drift apart.
+QUARANTINE_COLUMNS = ("task", "key", "attempts", "failure class", "reason")
+
+
+def quarantine_rows(records: Iterable[object]) -> list[list[str]]:
+    """One row per quarantined :class:`TaskRecord` (duck-typed to avoid
+    a report → supervisor import cycle)."""
+    rows = []
+    for record in records:
+        if getattr(record, "state", None) != "quarantined":
+            continue
+        rows.append([
+            record.label,
+            record.key[:12],
+            str(len(record.attempts)),
+            record.failure_class,
+            record.quarantine_reason,
+        ])
+    return rows
+
+
+def render_quarantine_table(records: Iterable[object]) -> str:
+    """The supervisor's quarantine report: which tasks the campaign gave
+    up on, and why — empty string when nothing was quarantined."""
+    rows = quarantine_rows(records)
+    if not rows:
+        return ""
+    return render_table(
+        "quarantined tasks (infra failures, not experiment findings)",
+        QUARANTINE_COLUMNS,
+        rows,
+        note="quarantined = killed by the watchdog / failed "
+             "deterministically / exhausted retries; the rest of the "
+             "campaign completed without them",
+    )
+
+
 def save_result(results_dir: Path, name: str, text: str) -> Path:
     results_dir.mkdir(parents=True, exist_ok=True)
     path = results_dir / f"{name}.txt"

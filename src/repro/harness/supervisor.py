@@ -1,0 +1,420 @@
+"""Fault-tolerant run supervisor: watchdog, retry, quarantine, resume.
+
+The fabric protocols are Quick-to-Detect (declare a neighbour dead after
+one missed 50 ms hello) and Slow-to-Accept (require 3 clean hellos
+before re-admitting it).  This module applies the same discipline to the
+machinery that *runs* them: large campaigns — chaos grids, scenario
+suites, robustness sweeps — must survive a hung ``run_until_quiet``, an
+OOM-killed worker, or a Ctrl-C without losing everything computed so
+far.
+
+Every task runs in its own worker process under a wall-clock deadline
+enforced by the supervisor's watchdog: a hung worker is *killed*, never
+awaited.  Failed attempts retry with seeded exponential backoff, but a
+task that fails identically twice (same exception class, same traceback
+digest) is a deterministic bug, not flake — it is quarantined
+immediately, without burning a third attempt.  Timeouts and worker
+crashes, which can be environmental, retry up to the attempt bound.
+Every outcome is recorded as a structured :class:`TaskRecord`
+(state machine: pending → running → retrying → done | quarantined).
+
+Completed results are checkpointed through the content-addressed
+:class:`~repro.harness.cache.ResultCache` the moment they finish, so an
+interrupted campaign resumes exactly where it stopped: re-running the
+same command replays the checkpointed tasks and executes only the rest.
+Because each attempt is an isolated process building its own
+:class:`~repro.net.world.World`, failed attempts can never contaminate
+results — an interrupted-then-resumed campaign and a campaign with
+injected crashes/hangs both produce digests byte-identical to a clean
+uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import heapq
+import multiprocessing as mp
+import random
+import re
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence
+
+from repro.harness.cache import ResultCache
+from repro.harness.digest import payload_digest, stable_seed
+from repro.harness.parallel import FanoutReport, resolve_jobs
+
+# task states (the supervisor state machine)
+PENDING = "pending"
+RUNNING = "running"
+RETRYING = "retrying"
+DONE = "done"
+QUARANTINED = "quarantined"
+CACHED = "cached"
+
+# attempt outcomes
+OK = "ok"
+ERROR = "error"       # the task raised a Python exception
+TIMEOUT = "timeout"   # the watchdog killed a worker past its deadline
+CRASH = "crash"       # the worker died without reporting (OOM, segfault)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the supervisor treats a failing task.
+
+    ``deadline_s`` is the per-attempt wall-clock budget (None disables
+    the watchdog).  Backoff is exponential with deterministic per-key
+    jitter — the schedule is a pure function of (policy seed, task key,
+    attempt), so reruns back off identically.
+    """
+
+    deadline_s: Optional[float] = None
+    max_attempts: int = 3
+    backoff_base_s: float = 0.05
+    backoff_cap_s: float = 2.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, "
+                             f"got {self.max_attempts}")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError(f"deadline_s must be positive, "
+                             f"got {self.deadline_s}")
+
+
+def backoff_schedule(policy: RetryPolicy, key: str) -> list[float]:
+    """Delays (seconds) before attempts 2..max_attempts for one task.
+
+    Exponential with a cap, jittered into [cap/2, cap] by an RNG seeded
+    from the task key — deterministic per key (the property the tests
+    pin down), decorrelated across keys so a failing grid does not
+    retry in lockstep.
+    """
+    delays = []
+    for attempt in range(1, policy.max_attempts):
+        cap = min(policy.backoff_cap_s,
+                  policy.backoff_base_s * (2 ** (attempt - 1)))
+        rng = random.Random(stable_seed("supervisor-backoff", policy.seed,
+                                        key, attempt))
+        delays.append(cap * (0.5 + 0.5 * rng.random()))
+    return delays
+
+
+@dataclass
+class Attempt:
+    """One execution attempt of one task."""
+
+    number: int
+    outcome: str                 # ok | error | timeout | crash
+    duration_s: float
+    exception: str = ""          # exception class (or WorkerCrash/...)
+    traceback_digest: str = ""   # normalized-traceback fingerprint
+    detail: str = ""             # first line of the exception / context
+
+
+@dataclass
+class TaskRecord:
+    """The supervisor's structured account of one task."""
+
+    index: int
+    key: str
+    label: str
+    state: str = PENDING
+    attempts: list[Attempt] = field(default_factory=list)
+    backoff_s: list[float] = field(default_factory=list)
+    quarantine_reason: str = ""
+
+    @property
+    def failure_class(self) -> str:
+        """The exception class of the last failed attempt, if any."""
+        for attempt in reversed(self.attempts):
+            if attempt.outcome != OK:
+                return attempt.exception or attempt.outcome
+        return ""
+
+    def describe(self) -> str:
+        tail = f": {self.quarantine_reason}" if self.quarantine_reason else ""
+        return (f"{self.label} [{self.state}] "
+                f"{len(self.attempts)} attempt(s){tail}")
+
+
+@dataclass
+class SupervisorReport:
+    """Everything one :func:`supervise_tasks` call did."""
+
+    fanout: FanoutReport = field(default_factory=FanoutReport)
+    records: list[TaskRecord] = field(default_factory=list)
+
+    @property
+    def quarantined(self) -> list[TaskRecord]:
+        return [r for r in self.records if r.state == QUARANTINED]
+
+    @property
+    def retried(self) -> list[TaskRecord]:
+        return [r for r in self.records if len(r.attempts) > 1]
+
+    def describe(self) -> str:
+        line = self.fanout.describe()
+        if self.retried:
+            line += f", {len(self.retried)} retried"
+        if self.quarantined:
+            line += f", {len(self.quarantined)} quarantined"
+        return line
+
+
+class SupervisorInterrupted(KeyboardInterrupt):
+    """Ctrl-C during a supervised campaign.  Completed tasks were
+    already checkpointed to the cache; the exception carries the salvage
+    accounting so the CLI can print the resume command."""
+
+    def __init__(self, done: int, total: int, salvaged: int,
+                 report: Optional[SupervisorReport] = None) -> None:
+        super().__init__(f"interrupted: {done}/{total} tasks done "
+                         f"({salvaged} checkpointed this run)")
+        self.done = done
+        self.total = total
+        self.salvaged = salvaged
+        self.report = report
+
+
+# ----------------------------------------------------------------------
+# the worker side (child process)
+# ----------------------------------------------------------------------
+_HEX_ADDR = re.compile(r"0x[0-9a-fA-F]+")
+
+
+def _traceback_digest(exc: BaseException) -> str:
+    """Fingerprint of an exception's traceback, stable across runs:
+    memory addresses are masked so two identical failures hash equal."""
+    text = "".join(traceback.format_exception(type(exc), exc,
+                                              exc.__traceback__))
+    return payload_digest(_HEX_ADDR.sub("0x~", text))[:16]
+
+
+def _attempt_child(worker: Callable[[Any], Any], spec: Any, conn) -> None:
+    """Run one attempt and report through the pipe.  Any exception —
+    including a failure to pickle the result — comes back as a
+    structured error tuple, never a silent death."""
+    try:
+        outcome = worker(spec)
+    except BaseException as exc:  # noqa: BLE001 — the whole point
+        conn.send((ERROR, type(exc).__name__, _traceback_digest(exc),
+                   str(exc).splitlines()[0][:200] if str(exc) else ""))
+        conn.close()
+        return
+    try:
+        conn.send((OK, outcome))
+    except BaseException as exc:  # unpicklable result
+        conn.send((ERROR, type(exc).__name__, _traceback_digest(exc),
+                   f"result not picklable: {exc}"[:200]))
+    conn.close()
+
+
+# ----------------------------------------------------------------------
+# the supervisor (parent process)
+# ----------------------------------------------------------------------
+@dataclass
+class _Running:
+    index: int
+    attempt: int
+    proc: Any
+    conn: Any
+    started: float
+    deadline: Optional[float]
+
+
+def _kill(run: _Running) -> None:
+    try:
+        run.proc.kill()
+        run.proc.join(timeout=5)
+    finally:
+        run.conn.close()
+
+
+def supervise_tasks(
+    specs: Sequence[Any],
+    worker: Callable[[Any], Any],
+    *,
+    jobs: int = 1,
+    policy: Optional[RetryPolicy] = None,
+    cache: Optional[ResultCache] = None,
+    key_fn: Optional[Callable[[Any], str]] = None,
+    encode: Optional[Callable[[Any], dict]] = None,
+    decode: Optional[Callable[[dict], Any]] = None,
+    label_fn: Optional[Callable[[Any], str]] = None,
+    report: Optional[SupervisorReport] = None,
+) -> list[Optional[Any]]:
+    """Run ``worker`` over ``specs`` under the supervisor.
+
+    Results come back in spec order, exactly like
+    :func:`~repro.harness.parallel.execute_tasks`; a quarantined task's
+    slot is ``None`` (degrade, don't abort — the rest of the grid
+    completes).  Cached tasks are replayed without spawning a worker.
+
+    Unlike the plain fan-out, *every* attempt runs in its own child
+    process — also at ``jobs=1`` — so the watchdog can kill a hung
+    worker in serial campaigns too.  ``worker`` and each spec must be
+    picklable, and results travel back through a pipe, so anything
+    cacheable is supervisable.
+    """
+    if cache is not None and (key_fn is None or encode is None
+                              or decode is None):
+        raise ValueError("cache requires key_fn, encode and decode")
+    policy = policy or RetryPolicy()
+    jobs = resolve_jobs(jobs)
+    if report is None:
+        report = SupervisorReport()
+    fanout = report.fanout
+    fanout.total += len(specs)
+    fanout.jobs = jobs
+
+    outcomes: list[Optional[Any]] = [None] * len(specs)
+    records: list[TaskRecord] = []
+    ready: list[tuple[float, int, int]] = []  # (not_before, index, attempt)
+    for i, spec in enumerate(specs):
+        key = key_fn(spec) if key_fn is not None else f"task-{i}"
+        label = label_fn(spec) if label_fn is not None else f"task {i}"
+        record = TaskRecord(index=i, key=key, label=label)
+        records.append(record)
+        if cache is not None:
+            hit = cache.get(key)
+            if hit is not None:
+                outcomes[i] = decode(hit)
+                record.state = CACHED
+                fanout.cached += 1
+                continue
+        heapq.heappush(ready, (0.0, i, 1))
+    report.records.extend(records)
+
+    ctx = mp.get_context()
+    running: dict[int, _Running] = {}
+
+    def launch(index: int, attempt: int) -> None:
+        record = records[index]
+        record.state = RUNNING
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        proc = ctx.Process(target=_attempt_child,
+                           args=(worker, specs[index], child_conn),
+                           daemon=True)
+        proc.start()
+        child_conn.close()
+        now = time.monotonic()
+        deadline = (now + policy.deadline_s
+                    if policy.deadline_s is not None else None)
+        running[index] = _Running(index=index, attempt=attempt, proc=proc,
+                                  conn=parent_conn, started=now,
+                                  deadline=deadline)
+
+    def quarantine(record: TaskRecord, reason: str) -> None:
+        record.state = QUARANTINED
+        record.quarantine_reason = reason
+
+    def settle_failure(record: TaskRecord, attempt: Attempt) -> None:
+        """Retry-or-quarantine after a failed attempt (already appended)."""
+        previous = record.attempts[-2] if len(record.attempts) > 1 else None
+        if (attempt.outcome == ERROR and previous is not None
+                and previous.outcome == ERROR
+                and previous.exception == attempt.exception
+                and previous.traceback_digest == attempt.traceback_digest):
+            quarantine(record,
+                       f"deterministic failure: {attempt.exception} "
+                       f"twice with identical traceback "
+                       f"({attempt.detail})".strip())
+            return
+        if attempt.number >= policy.max_attempts:
+            quarantine(record,
+                       f"exhausted {policy.max_attempts} attempt(s); "
+                       f"last: {attempt.outcome} "
+                       f"({attempt.exception}: {attempt.detail})".strip())
+            return
+        delay = backoff_schedule(policy, record.key)[attempt.number - 1]
+        record.backoff_s.append(delay)
+        record.state = RETRYING
+        heapq.heappush(ready, (time.monotonic() + delay, record.index,
+                               attempt.number + 1))
+
+    def finish_ok(run: _Running, outcome: Any) -> None:
+        record = records[run.index]
+        record.attempts.append(Attempt(
+            number=run.attempt, outcome=OK,
+            duration_s=time.monotonic() - run.started))
+        record.state = DONE
+        outcomes[run.index] = outcome
+        fanout.executed += 1
+        if cache is not None:
+            # checkpoint immediately: this is what makes an interrupted
+            # campaign resumable at task granularity
+            cache.put(record.key, encode(outcome))
+            fanout.cache_stored += 1
+
+    def finish_failed(run: _Running, outcome: str, exception: str,
+                      digest: str, detail: str) -> None:
+        record = records[run.index]
+        attempt = Attempt(number=run.attempt, outcome=outcome,
+                          duration_s=time.monotonic() - run.started,
+                          exception=exception, traceback_digest=digest,
+                          detail=detail)
+        record.attempts.append(attempt)
+        settle_failure(record, attempt)
+
+    try:
+        while ready or running:
+            now = time.monotonic()
+            while ready and len(running) < jobs and ready[0][0] <= now:
+                _, index, attempt = heapq.heappop(ready)
+                launch(index, attempt)
+
+            # how long may we sleep? until the next watchdog deadline or
+            # the next backoff expiry, whichever comes first
+            waits = [run.deadline - now for run in running.values()
+                     if run.deadline is not None]
+            if ready and len(running) < jobs:
+                waits.append(ready[0][0] - now)
+            timeout = max(0.0, min(waits)) if waits else None
+
+            if running:
+                conns = [run.conn for run in running.values()]
+                mp.connection.wait(conns, timeout=timeout)
+            elif timeout:
+                time.sleep(timeout)
+
+            now = time.monotonic()
+            for run in list(running.values()):
+                message = None
+                if run.conn.poll():
+                    try:
+                        message = run.conn.recv()
+                    except EOFError:
+                        message = None  # died mid-send: treat as crash
+                if message is not None:
+                    del running[run.index]
+                    run.proc.join(timeout=5)
+                    run.conn.close()
+                    if message[0] == OK:
+                        finish_ok(run, message[1])
+                    else:
+                        finish_failed(run, *message)
+                elif not run.proc.is_alive():
+                    del running[run.index]
+                    run.conn.close()
+                    finish_failed(
+                        run, CRASH, "WorkerCrash", "",
+                        f"worker exited with code {run.proc.exitcode} "
+                        f"without reporting")
+                elif run.deadline is not None and now >= run.deadline:
+                    del running[run.index]
+                    _kill(run)
+                    finish_failed(
+                        run, TIMEOUT, "WatchdogTimeout", "",
+                        f"killed after {now - run.started:.1f}s "
+                        f"(deadline {policy.deadline_s:.1f}s)")
+    except KeyboardInterrupt:
+        for run in running.values():
+            _kill(run)
+        done = sum(1 for r in records if r.state in (DONE, CACHED))
+        raise SupervisorInterrupted(done=done, total=len(specs),
+                                    salvaged=fanout.cache_stored,
+                                    report=report) from None
+    return outcomes

@@ -32,6 +32,11 @@ from repro.harness.experiments import build_and_converge
 from repro.harness.failures import FailureInjector
 from repro.harness.parallel import FanoutReport, execute_tasks
 from repro.harness.pathtrace import trace_path
+from repro.harness.supervisor import (
+    RetryPolicy,
+    SupervisorReport,
+    supervise_tasks,
+)
 
 
 @dataclass(frozen=True)
@@ -212,6 +217,12 @@ def sweep_specs(
     ]
 
 
+def sweep_point_label(spec: SweepPointSpec) -> str:
+    """Human task label for supervisor records and quarantine tables."""
+    return (f"{spec.stack.name} {spec.point.node}:{spec.point.interface} "
+            f"seed={spec.seed}")
+
+
 def single_failure_sweep_outcomes(
     params: ClosParams,
     stack,
@@ -223,11 +234,27 @@ def single_failure_sweep_outcomes(
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
     report: Optional[FanoutReport] = None,
-) -> list[SweepOutcome]:
+    policy: Optional[RetryPolicy] = None,
+    supervisor: Optional[SupervisorReport] = None,
+) -> list[Optional[SweepOutcome]]:
     """The sweep with digests: fan out over ``jobs`` worker processes,
-    replaying already-converged points from ``cache`` when given."""
+    replaying already-converged points from ``cache`` when given.
+
+    With a ``policy`` (or an attached ``supervisor`` report) the sweep
+    runs under :mod:`repro.harness.supervisor`: hung points are killed
+    by the watchdog, failing points retry with backoff, and a point that
+    exhausts its attempts is quarantined — its slot comes back ``None``
+    and the rest of the sweep still completes.
+    """
     specs = sweep_specs(params, stack, seed, timers, points,
                         reconverge_margin_us, ambient_loss)
+    if policy is not None or supervisor is not None:
+        return supervise_tasks(
+            specs, run_sweep_point, jobs=jobs, policy=policy, cache=cache,
+            key_fn=sweep_point_key, encode=encode_sweep_outcome,
+            decode=decode_sweep_outcome, label_fn=sweep_point_label,
+            report=supervisor,
+        )
     return execute_tasks(
         specs, run_sweep_point, jobs=jobs, cache=cache,
         key_fn=sweep_point_key, encode=encode_sweep_outcome,

@@ -20,6 +20,11 @@ from repro.harness.cache import ResultCache, task_key
 from repro.harness.digest import run_digest
 from repro.harness.experiments import build_and_converge
 from repro.harness.parallel import FanoutReport, execute_tasks
+from repro.harness.supervisor import (
+    RetryPolicy,
+    SupervisorReport,
+    supervise_tasks,
+)
 from repro.scenario.compiler import (
     Checkpoint,
     ScenarioMetrics,
@@ -166,6 +171,11 @@ def scenario_suite_specs(
     ]
 
 
+def scenario_task_label(spec: ScenarioRunSpec) -> str:
+    """Human task label for supervisor records and quarantine tables."""
+    return (f"{spec.stack.name}/{spec.scenario.name} seed={spec.seed}")
+
+
 def run_scenario_suite(
     params: ClosParams,
     scenarios: Sequence[Scenario],
@@ -175,10 +185,25 @@ def run_scenario_suite(
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
     report: Optional[FanoutReport] = None,
-) -> list[ScenarioOutcome]:
+    policy: Optional[RetryPolicy] = None,
+    supervisor: Optional[SupervisorReport] = None,
+) -> list[Optional[ScenarioOutcome]]:
     """Run every scenario on every stack, fanned out over ``jobs``
-    workers and replayed from ``cache`` when given."""
+    workers and replayed from ``cache`` when given.
+
+    With a ``policy`` (or ``supervisor`` report) the suite runs under
+    the fault-tolerant supervisor: quarantined runs come back ``None``,
+    the rest of the suite completes.
+    """
     specs = scenario_suite_specs(params, scenarios, stacks, seed, timers)
+    if policy is not None or supervisor is not None:
+        return supervise_tasks(
+            specs, run_scenario_task, jobs=jobs, policy=policy,
+            cache=cache, key_fn=scenario_task_key,
+            encode=encode_scenario_outcome,
+            decode=decode_scenario_outcome, label_fn=scenario_task_label,
+            report=supervisor,
+        )
     return execute_tasks(
         specs, run_scenario_task, jobs=jobs, cache=cache,
         key_fn=scenario_task_key, encode=encode_scenario_outcome,

@@ -157,3 +157,60 @@ def test_scenario_rejects_bad_target(tmp_path, capsys):
     assert main(["scenario", "run", "--file", str(path), "--stack", "mtp",
                  "--no-cache"]) == 2
     assert "out of range" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# fault-tolerant campaigns: --supervise / --resume / exit codes
+# ----------------------------------------------------------------------
+def test_resume_rejects_no_cache(capsys):
+    assert main(["scenario", "run", "tc2", "--stack", "mtp",
+                 "--resume", "--no-cache"]) == 2
+    assert "drop --no-cache" in capsys.readouterr().err
+
+
+def test_supervised_run_checkpoints_then_resumes(capsys, tmp_path):
+    out = run_cli(capsys, "scenario", "run", "tc2", "--stack", "mtp",
+                  "--cache-dir", str(tmp_path), "--supervise")
+    assert "1 scenario runs" in out
+    # --resume replays the checkpoint and prints the accounting
+    out2 = run_cli(capsys, "scenario", "run", "tc2", "--stack", "mtp",
+                   "--cache-dir", str(tmp_path), "--supervise", "--resume")
+    assert "resume: 1/1 task(s) replayed from checkpoint, 0 executed" in out2
+
+
+def test_supervised_digest_matches_plain(capsys):
+    """The supervisor's process-per-task execution must not perturb the
+    run digest — the serial==parallel guarantee extends to it."""
+    plain = run_cli(capsys, "scenario", "run", "tc2", "--stack", "mtp",
+                    "--no-cache", "--digests").splitlines()[0]
+    supervised = run_cli(capsys, "scenario", "run", "tc2", "--stack", "mtp",
+                         "--no-cache", "--digests",
+                         "--supervise").splitlines()[0]
+    assert plain == supervised
+
+
+def test_sweep_report_includes_quarantine_section(capsys, tmp_path):
+    prefix = tmp_path / "report"
+    run_cli(capsys, "sweep", "--stack", "mtp", "--cache-dir",
+            str(tmp_path / "cache"), "--report", str(prefix))
+    text = (tmp_path / "report.txt").read_text()
+    assert "fan-out:" in text
+    assert "quarantined tasks: none" in text  # clean run records the fact
+    html = (tmp_path / "report.html").read_text()
+    assert "<table>" in html and "single-failure sweep" in html
+
+
+def test_campaign_epilogue_exit_codes(capsys):
+    import argparse
+
+    from repro.cli import EXIT_INFRA, EXIT_OK, _campaign_epilogue
+    from repro.harness.parallel import FanoutReport
+    from repro.harness.supervisor import TaskRecord
+
+    args = argparse.Namespace(resume=False)
+    report = FanoutReport()
+    assert _campaign_epilogue(args, report, []) == EXIT_OK
+    bad = TaskRecord(index=0, key="k", label="t", state="quarantined")
+    bad.quarantine_reason = "exhausted 3 attempt(s)"
+    assert _campaign_epilogue(args, report, [bad]) == EXIT_INFRA
+    assert "infra failure" in capsys.readouterr().err
