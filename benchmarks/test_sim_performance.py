@@ -9,9 +9,15 @@ simulated seconds).
 
 from __future__ import annotations
 
+import json
+import time
+from pathlib import Path
+
 import pytest
 
-from repro.sim.engine import Simulator
+import bench_engine
+
+from repro.sim.engine import WHEEL_BACKEND, Simulator
 from repro.sim.units import SECOND
 from repro.topology.clos import ClosParams
 from repro.harness.experiments import (
@@ -67,3 +73,69 @@ def test_full_failure_experiment_cost(benchmark):
         rounds=1, iterations=1,
     )
     assert result.convergence_us > 0
+
+
+# ----------------------------------------------------------------------
+# BENCH_engine.json regression guards: the recorded trajectory is the
+# baseline; a change that costs the engine its fast path fails here.
+# Tolerances are generous (CI hosts vary widely) — these catch
+# catastrophic regressions, not single-digit drift.
+# ----------------------------------------------------------------------
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+
+@pytest.fixture(scope="module")
+def bench_doc():
+    assert BENCH_PATH.exists(), (
+        "BENCH_engine.json missing — regenerate with "
+        "`PYTHONPATH=src python benchmarks/bench_engine.py`")
+    return json.loads(BENCH_PATH.read_text())
+
+
+def _sync_timers_throughput(backend: str, n: int = 100_000) -> float:
+    best = 0.0
+    for _ in range(3):
+        best = max(best, bench_engine.bench_sync_timers(backend, n))
+    return best
+
+
+def test_recorded_trajectory_meets_speedup_target(bench_doc):
+    """The committed artifact must record the >= 3x headline speedup
+    over the pre-change engine (same host, same workload)."""
+    assert bench_doc["headline"]["speedup_vs_pre_change"] >= 3.0
+    baseline = bench_doc["baseline_pre_change"]["events_per_sec"]
+    assert baseline["sync_timers_1024"] > 0  # trajectory is anchored
+
+
+def test_live_engine_beats_pre_change_baseline(bench_doc):
+    """Live wheel throughput on the headline workload must comfortably
+    beat the frozen pre-change heap number.  The recorded speedup is
+    ~3.3x; requiring 1.5x leaves 2x headroom for slower CI hosts."""
+    baseline = bench_doc["baseline_pre_change"]["events_per_sec"][
+        "sync_timers_1024"]
+    live = _sync_timers_throughput(WHEEL_BACKEND)
+    assert live >= 1.5 * baseline, (
+        f"engine fast path regressed: {live:,.0f} ev/s live vs "
+        f"{baseline:,} ev/s pre-change baseline (need >= 1.5x)")
+
+
+def test_live_engine_within_band_of_recorded_run(bench_doc):
+    """Sanity band against the recorded wheel number itself: a 4x
+    collapse on the same workload is a regression on any host."""
+    recorded = bench_doc["micro"]["sync_timers_1024"]["events_per_sec"][
+        WHEEL_BACKEND]
+    live = _sync_timers_throughput(WHEEL_BACKEND)
+    assert live >= 0.25 * recorded, (
+        f"live {live:,.0f} ev/s fell out of band of recorded "
+        f"{recorded:,} ev/s")
+
+
+def test_32pod_tc1_within_tier1_budget():
+    """The acceptance gate: a 32-PoD TC1 failure experiment must fit a
+    tier-1 time budget (recorded ~0.4s wall; 30s is the hard ceiling)."""
+    t0 = time.perf_counter()
+    result = run_failure_experiment(ClosParams(num_pods=32), "mtp", "TC1",
+                                    seed=0)
+    wall = time.perf_counter() - t0
+    assert result.convergence_us > 0
+    assert wall < 30.0, f"32-PoD TC1 took {wall:.1f}s (budget 30s)"

@@ -33,6 +33,8 @@ TYPE_RESTORED_DEFAULT = 0x0B
 class MtpMessage:
     """Base class for MR-MTP messages."""
 
+    __slots__ = ()  # keep subclasses __dict__-free when they opt into slots
+
     type_code: ClassVar[int]
 
     @property
@@ -40,7 +42,7 @@ class MtpMessage:
         raise NotImplementedError
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MtpKeepalive(MtpMessage):
     """The 1-byte keepalive: just the type byte."""
 
@@ -51,7 +53,7 @@ class MtpKeepalive(MtpMessage):
         return 1
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MtpFullHello(MtpMessage):
     """Neighbor discovery hello carrying the sender's tier (so each end
     learns whether the port faces up or down the Clos)."""
@@ -64,7 +66,7 @@ class MtpFullHello(MtpMessage):
         return 2
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class _VidListMessage(MtpMessage):
     vids: tuple[Vid, ...]
 
@@ -77,42 +79,42 @@ class _VidListMessage(MtpMessage):
         return 2 + sum(v.wire_size for v in self.vids)  # type + count + vids
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MtpAdvertise(_VidListMessage):
     """Sender's current VIDs, announced on upstream ports (tree growth)."""
 
     type_code: ClassVar[int] = TYPE_ADVERTISE
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MtpJoin(_VidListMessage):
     """Request to join the trees rooted at the listed (advertised) VIDs."""
 
     type_code: ClassVar[int] = TYPE_JOIN
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MtpOffer(_VidListMessage):
     """Child VIDs assigned to the joiner (parent VID + arrival port)."""
 
     type_code: ClassVar[int] = TYPE_OFFER
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MtpAccept(_VidListMessage):
     """Joiner's confirmation — the accept-acknowledge reliability step."""
 
     type_code: ClassVar[int] = TYPE_ACCEPT
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MtpUpdateLost(_VidListMessage):
     """Sent upstream: the listed VIDs (ours) were lost; prune children."""
 
     type_code: ClassVar[int] = TYPE_UPDATE_LOST
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class _RootListMessage(MtpMessage):
     roots: tuple[int, ...]
 
@@ -125,7 +127,7 @@ class _RootListMessage(MtpMessage):
         return 2 + sum(1 if r < 255 else 3 for r in self.roots)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MtpUnreachable(_RootListMessage):
     """Sent downstream: the listed ToR roots cannot be reached via the
     sender; receivers mark the arrival port unusable for those roots."""
@@ -133,14 +135,14 @@ class MtpUnreachable(_RootListMessage):
     type_code: ClassVar[int] = TYPE_UNREACHABLE
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MtpRestored(_RootListMessage):
     """Sent downstream: the listed roots are reachable again."""
 
     type_code: ClassVar[int] = TYPE_RESTORED
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MtpUnreachableDefault(MtpMessage):
     """Sent downstream when the sender has lost its *default* upstream
     path entirely (e.g. every uplink dead — a double-failure scenario
@@ -161,7 +163,7 @@ class MtpUnreachableDefault(MtpMessage):
         return 2 + sum(1 if r < 255 else 3 for r in self.except_roots)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MtpRestoredDefault(MtpMessage):
     """Sent downstream when the sender's default upstream path is back."""
 
@@ -172,7 +174,7 @@ class MtpRestoredDefault(MtpMessage):
         return 1
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MtpData(MtpMessage):
     """An encapsulated IP packet: (src ToR VID, dst ToR VID) + payload
     (paper section III.D)."""

@@ -58,6 +58,11 @@ from repro.core.neighbor import NeighborState, PortNeighbor
 from repro.core.tables import VidTable
 from repro.core.vid import ThirdByteDerivation, Vid
 
+# Keepalives carry no fields; one immutable instance serves every port of
+# every router (flyweight — the steady state sends one per hello interval
+# per port, which dominated allocations at 32-PoD scale).
+_KEEPALIVE = MtpKeepalive()
+
 
 @dataclass
 class MtpCounters:
@@ -110,6 +115,10 @@ class MtpNode:
             self._excluded.add(config.rack_interface)
         # per-port transmit bookkeeping for keepalive suppression
         self._last_tx: dict[str, int] = {}
+        # flyweight keepalive frames: frames are immutable and identical
+        # per port, so the steady-state churn reuses one object per port
+        # instead of allocating frame+message every hello interval
+        self._keepalive_frames: dict[str, EthernetFrame] = {}
         self._hello_timers: dict[str, PeriodicTimer] = {}
         # reliability: outstanding requests awaiting a response
         self._pending_join: dict[str, set[Vid]] = {}
@@ -231,7 +240,15 @@ class MtpNode:
         if nbr.state is NeighborState.UP:
             self.counters.keepalives_sent += 1
             self.node.log("mtp.keepalive.tx", port, bytes=15)
-            self._send(port, MtpKeepalive())
+            frame = self._keepalive_frames.get(port)
+            if frame is None:
+                frame = EthernetFrame(
+                    dst=BROADCAST_MAC, src=iface.mac,
+                    ethertype=ETHERTYPE_MTP, payload=_KEEPALIVE,
+                )
+                self._keepalive_frames[port] = frame
+            if iface.send(frame):
+                self._last_tx[port] = self.sim.now
         else:
             # discovery / re-acceptance needs the tier information
             self._send(port, MtpFullHello(tier=self.tier))

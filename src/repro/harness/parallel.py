@@ -85,6 +85,7 @@ def execute_tasks(
     decode: Optional[Callable[[dict], Any]] = None,
     chunk_size: Optional[int] = None,
     report: Optional[FanoutReport] = None,
+    allow_oversubscribe: bool = False,
 ) -> list[Any]:
     """Run ``worker`` over ``specs``; results in spec order.
 
@@ -92,6 +93,15 @@ def execute_tasks(
     reference serial path the determinism guard compares against.  With a
     cache, each spec is first looked up under ``key_fn(spec)``; hits are
     ``decode``d from disk, misses are executed and ``encode``d back.
+
+    When the host has no spare cores for the requested worker count
+    (``os.cpu_count() <= jobs``), the pool cannot beat serial — worker
+    startup plus pickling are pure overhead on a saturated CPU (a 1-core
+    CI host ran the pool at ~0.55x serial) — so the fan-out falls back to
+    inline execution and notes it in the report.  Results are identical
+    either way (that is the determinism contract); pass
+    ``allow_oversubscribe=True`` to force the pool anyway, e.g. to test
+    that very contract.
     """
     if cache is not None and (key_fn is None or encode is None
                               or decode is None):
@@ -99,6 +109,13 @@ def execute_tasks(
     jobs = resolve_jobs(jobs)
     if report is None:
         report = FanoutReport()
+    if jobs > 1 and not allow_oversubscribe:
+        cores = os.cpu_count() or 1
+        if cores <= jobs:
+            report.notes.append(
+                f"fell back to serial: {jobs} jobs would oversubscribe "
+                f"{cores} core(s)")
+            jobs = 1
     report.total += len(specs)
     report.jobs = jobs
 
@@ -197,8 +214,11 @@ def assert_fanout_deterministic(
     (verified) digests.
     """
     serial = [digest_of(o) for o in execute_tasks(specs, worker, jobs=1)]
+    # allow_oversubscribe: the whole point is to compare the pool against
+    # serial, so the guard must not quietly fall back on small hosts
     fanned = [digest_of(o) for o in execute_tasks(
-        specs, worker, jobs=jobs, chunk_size=chunk_size)]
+        specs, worker, jobs=jobs, chunk_size=chunk_size,
+        allow_oversubscribe=True)]
     for i, (a, b) in enumerate(zip(serial, fanned)):
         if a != b:
             raise DeterminismError(

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import heapq
 import multiprocessing as mp
+import os
 import random
 import re
 import time
@@ -267,6 +268,16 @@ def supervise_tasks(
     if report is None:
         report = SupervisorReport()
     fanout = report.fanout
+    if jobs > 1:
+        cores = os.cpu_count() or 1
+        if cores <= jobs:
+            # same footgun as the plain fan-out: concurrent children on a
+            # saturated host are slower than one at a time (each attempt
+            # still gets its own watched child process either way)
+            fanout.notes.append(
+                f"supervisor concurrency clamped to 1: {jobs} jobs would "
+                f"oversubscribe {cores} core(s)")
+            jobs = 1
     fanout.total += len(specs)
     fanout.jobs = jobs
 

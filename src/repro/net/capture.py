@@ -22,7 +22,7 @@ class Direction(Enum):
     RX = "rx"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CaptureRecord:
     time: int
     node: str

@@ -19,7 +19,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.net.node import Node
 
 
-@dataclass
+@dataclass(slots=True)
 class InterfaceCounters:
     tx_frames: int = 0
     tx_bytes: int = 0
@@ -35,6 +35,9 @@ class InterfaceCounters:
 
 class Interface:
     """One port of a node."""
+
+    __slots__ = ("node", "name", "mac", "port_number", "link", "admin_up",
+                 "address", "network", "counters", "taps")
 
     def __init__(
         self,

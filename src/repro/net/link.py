@@ -29,6 +29,12 @@ DEFAULT_QUEUE_BYTES = 512 * 1024  # per-direction egress buffer
 class Link:
     """Full-duplex point-to-point link between two interfaces."""
 
+    __slots__ = ("sim", "end_a", "end_b", "bandwidth_bps", "propagation_us",
+                 "queue_bytes", "_next_free", "frames_carried",
+                 "bytes_carried", "frames_dropped_queue", "_impairments",
+                 "_arrival_seq", "frames_lost_impaired", "frames_corrupted",
+                 "frames_duplicated")
+
     def __init__(
         self,
         sim: Simulator,

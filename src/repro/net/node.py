@@ -110,7 +110,9 @@ class Node:
 
     # ------------------------------------------------------------------
     def log(self, category: str, message: str, **data) -> None:
-        self.trace.emit(self.name, category, message, **data)
+        trace = self.trace
+        if trace.live:  # skip record construction when nobody is watching
+            trace.emit(self.name, category, message, **data)
 
     def __repr__(self) -> str:
         return f"<Node {self.name} tier={self.tier}>"

@@ -4,6 +4,11 @@ The simulator-side equivalent of the paper's node log files: protocol code
 emits (time, node, category, message, data) records; the harness parses
 them to compute convergence times, blast radius etc., mirroring the
 paper's "automation scripts parsed the logs" methodology (section VI.B).
+
+Tracing is *lazy*: :attr:`TraceLog.live` is maintained to be True exactly
+when a record would be kept (recording enabled or a listener attached).
+Hot paths check ``live`` before building a record — a dark trace log costs
+one attribute read per would-be emit, not an allocation.
 """
 
 from __future__ import annotations
@@ -14,7 +19,7 @@ from typing import Any, Callable, Iterator, Optional
 from repro.sim.engine import Simulator
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceRecord:
     time: int
     node: str
@@ -32,24 +37,38 @@ class TraceLog:
 
     def __init__(self, sim: Simulator, enabled: bool = True) -> None:
         self.sim = sim
-        self.enabled = enabled
+        self._enabled = enabled
         self.records: list[TraceRecord] = []
         self._listeners: list[Callable[[TraceRecord], None]] = []
+        # kept in sync by the enabled setter and add/remove_listener so
+        # emitters can skip record construction with one attribute read
+        self.live: bool = enabled
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    @enabled.setter
+    def enabled(self, value: bool) -> None:
+        self._enabled = value
+        self.live = value or bool(self._listeners)
 
     def emit(self, node: str, category: str, message: str, **data: Any) -> None:
-        if not self.enabled and not self._listeners:
+        if not self.live:
             return
         record = TraceRecord(self.sim.now, node, category, message, data)
-        if self.enabled:
+        if self._enabled:
             self.records.append(record)
         for listener in self._listeners:
             listener(record)
 
     def add_listener(self, listener: Callable[[TraceRecord], None]) -> None:
         self._listeners.append(listener)
+        self.live = True
 
     def remove_listener(self, listener: Callable[[TraceRecord], None]) -> None:
         self._listeners.remove(listener)
+        self.live = self._enabled or bool(self._listeners)
 
     # ------------------------------------------------------------------
     # queries (the "log parsing scripts")

@@ -24,7 +24,7 @@ ETHERTYPE_ARP = 0x0806
 ETHERTYPE_MTP = 0x8850  # the unused type the paper assigns to MR-MTP
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class EthernetFrame:
     dst: MacAddress
     src: MacAddress

@@ -20,7 +20,7 @@ class Payload(Protocol):
     def wire_size(self) -> int: ...
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RawBytes:
     """Opaque payload of a given size (test traffic, padding)."""
 

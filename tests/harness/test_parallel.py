@@ -20,12 +20,18 @@ from repro.harness.experiments import (
 )
 from repro.harness.parallel import (
     DeterminismError,
+    FanoutReport,
     assert_fanout_deterministic,
     default_chunk_size,
     execute_tasks,
     resolve_jobs,
 )
 from repro.harness.sweep import run_sweep_point, sweep_specs
+
+
+def _square(x: int) -> int:
+    """Trivial top-level worker (the pool needs to pickle it)."""
+    return x * x
 
 
 def _digest(outcome) -> str:
@@ -123,3 +129,48 @@ def test_resolve_jobs_and_chunking():
         resolve_jobs(-1)
     assert default_chunk_size(0, 4) == 1
     assert default_chunk_size(100, 4) == 6
+
+
+# ----------------------------------------------------------------------
+# oversubscription fallback: on a host with no spare cores for the
+# requested worker count, the pool is pure overhead — the fan-out must
+# quietly run inline and say so in the report
+# ----------------------------------------------------------------------
+def test_oversubscribed_fanout_falls_back_to_serial(monkeypatch):
+    monkeypatch.setattr("repro.harness.parallel.os.cpu_count", lambda: 1)
+    report = FanoutReport()
+    outcomes = execute_tasks([1, 2, 3], _square, jobs=2, report=report)
+    assert outcomes == [1, 4, 9]
+    assert report.jobs == 1  # fell back
+    assert any("oversubscribe" in note for note in report.notes), report.notes
+
+
+def test_fanout_keeps_pool_when_cores_are_spare(monkeypatch):
+    monkeypatch.setattr("repro.harness.parallel.os.cpu_count", lambda: 8)
+    report = FanoutReport()
+    outcomes = execute_tasks([1, 2, 3], _square, jobs=2, report=report)
+    assert outcomes == [1, 4, 9]
+    assert report.jobs == 2
+    assert report.notes == []
+
+
+def test_allow_oversubscribe_forces_the_pool(monkeypatch):
+    """The determinism guard compares pool vs serial, so it must be able
+    to force the pool even on a 1-core CI host."""
+    monkeypatch.setattr("repro.harness.parallel.os.cpu_count", lambda: 1)
+    report = FanoutReport()
+    outcomes = execute_tasks([1, 2, 3], _square, jobs=2, report=report,
+                             allow_oversubscribe=True)
+    assert outcomes == [1, 4, 9]
+    assert report.jobs == 2  # pool ran despite the 1-core host
+    assert report.notes == []
+
+
+def test_oversubscribed_fallback_is_result_identical(monkeypatch):
+    """Falling back must be invisible in the results: same outcomes, in
+    order, as the pool would have produced."""
+    monkeypatch.setattr("repro.harness.parallel.os.cpu_count", lambda: 1)
+    serial = execute_tasks(list(range(7)), _square, jobs=2)
+    forced = execute_tasks(list(range(7)), _square, jobs=2,
+                           allow_oversubscribe=True)
+    assert serial == forced

@@ -315,3 +315,18 @@ def test_quarantine_table_lists_only_quarantined_tasks():
     text = render_quarantine_table([done, _quarantined_record()])
     assert "quarantined tasks" in text and "ValueError" in text
     assert render_quarantine_table([done]) == ""
+
+
+def test_supervisor_clamps_oversubscribed_concurrency(monkeypatch):
+    """jobs=2 on a 1-core host: concurrency clamps to 1 (children still
+    spawn per attempt so the watchdog keeps working) and the report says
+    why."""
+    monkeypatch.setattr("repro.harness.supervisor.os.cpu_count", lambda: 1)
+    report = SupervisorReport()
+    results = supervise_tasks(["a", "b"], ok_worker, jobs=2,
+                              policy=RetryPolicy(max_attempts=1),
+                              report=report)
+    assert results == ["done-a", "done-b"]
+    assert report.fanout.jobs == 1
+    assert any("oversubscribe" in note for note in report.fanout.notes)
+    assert all(r.state == DONE for r in report.records)

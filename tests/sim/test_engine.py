@@ -1,14 +1,25 @@
-"""Unit tests for the event engine."""
+"""Unit tests for the event engine (both scheduler backends)."""
 
 from __future__ import annotations
 
 import pytest
 
-from repro.sim.engine import Simulator, SimulationError
+from repro.sim.engine import (
+    BACKENDS,
+    HEAP_BACKEND,
+    WHEEL_BACKEND,
+    Simulator,
+    SimulationError,
+)
 
 
-def test_events_fire_in_time_order():
-    sim = Simulator()
+@pytest.fixture(params=BACKENDS)
+def backend(request):
+    return request.param
+
+
+def test_events_fire_in_time_order(backend):
+    sim = Simulator(backend)
     fired = []
     sim.schedule_at(30, fired.append, "c")
     sim.schedule_at(10, fired.append, "a")
@@ -18,8 +29,8 @@ def test_events_fire_in_time_order():
     assert sim.now == 30
 
 
-def test_same_time_events_fire_in_scheduling_order():
-    sim = Simulator()
+def test_same_time_events_fire_in_scheduling_order(backend):
+    sim = Simulator(backend)
     fired = []
     for tag in range(10):
         sim.schedule_at(5, fired.append, tag)
@@ -27,8 +38,8 @@ def test_same_time_events_fire_in_scheduling_order():
     assert fired == list(range(10))
 
 
-def test_priority_breaks_ties_before_seq():
-    sim = Simulator()
+def test_priority_breaks_ties_before_seq(backend):
+    sim = Simulator(backend)
     fired = []
     sim.schedule_at(5, fired.append, "late", priority=1)
     sim.schedule_at(5, fired.append, "early", priority=0)
@@ -36,16 +47,16 @@ def test_priority_breaks_ties_before_seq():
     assert fired == ["early", "late"]
 
 
-def test_schedule_after_is_relative():
-    sim = Simulator()
+def test_schedule_after_is_relative(backend):
+    sim = Simulator(backend)
     times = []
     sim.schedule_after(10, lambda: times.append(sim.now))
     sim.run()
     assert times == [10]
 
 
-def test_nested_scheduling_from_callback():
-    sim = Simulator()
+def test_nested_scheduling_from_callback(backend):
+    sim = Simulator(backend)
     fired = []
 
     def outer():
@@ -60,8 +71,8 @@ def test_nested_scheduling_from_callback():
     assert fired == [("outer", 10), ("inner", 15)]
 
 
-def test_cancel_prevents_firing():
-    sim = Simulator()
+def test_cancel_prevents_firing(backend):
+    sim = Simulator(backend)
     fired = []
     handle = sim.schedule_at(10, fired.append, "x")
     handle.cancel()
@@ -70,16 +81,16 @@ def test_cancel_prevents_firing():
     assert not handle.active
 
 
-def test_cancel_twice_is_safe():
-    sim = Simulator()
+def test_cancel_twice_is_safe(backend):
+    sim = Simulator(backend)
     handle = sim.schedule_at(10, lambda: None)
     handle.cancel()
     handle.cancel()
     sim.run()
 
 
-def test_run_until_stops_and_advances_clock():
-    sim = Simulator()
+def test_run_until_stops_and_advances_clock(backend):
+    sim = Simulator(backend)
     fired = []
     sim.schedule_at(10, fired.append, "a")
     sim.schedule_at(100, fired.append, "b")
@@ -90,28 +101,28 @@ def test_run_until_stops_and_advances_clock():
     assert fired == ["a", "b"]
 
 
-def test_run_until_advances_clock_even_when_queue_empty():
-    sim = Simulator()
+def test_run_until_advances_clock_even_when_queue_empty(backend):
+    sim = Simulator(backend)
     sim.run(until=123)
     assert sim.now == 123
 
 
-def test_scheduling_in_past_raises():
-    sim = Simulator()
+def test_scheduling_in_past_raises(backend):
+    sim = Simulator(backend)
     sim.schedule_at(10, lambda: None)
     sim.run()
     with pytest.raises(SimulationError):
         sim.schedule_at(5, lambda: None)
 
 
-def test_negative_delay_raises():
-    sim = Simulator()
+def test_negative_delay_raises(backend):
+    sim = Simulator(backend)
     with pytest.raises(SimulationError):
         sim.schedule_after(-1, lambda: None)
 
 
-def test_max_events_budget():
-    sim = Simulator()
+def test_max_events_budget(backend):
+    sim = Simulator(backend)
     fired = []
     for i in range(10):
         sim.schedule_at(i, fired.append, i)
@@ -119,16 +130,16 @@ def test_max_events_budget():
     assert fired == [0, 1, 2]
 
 
-def test_step_returns_false_on_empty_queue():
-    sim = Simulator()
+def test_step_returns_false_on_empty_queue(backend):
+    sim = Simulator(backend)
     assert sim.step() is False
     sim.schedule_at(1, lambda: None)
     assert sim.step() is True
     assert sim.step() is False
 
 
-def test_call_soon_runs_at_current_time():
-    sim = Simulator()
+def test_call_soon_runs_at_current_time(backend):
+    sim = Simulator(backend)
     times = []
 
     def first():
@@ -139,17 +150,177 @@ def test_call_soon_runs_at_current_time():
     assert times == [7]
 
 
-def test_events_processed_counter():
-    sim = Simulator()
+def test_events_processed_counter(backend):
+    sim = Simulator(backend)
     for i in range(5):
         sim.schedule_at(i, lambda: None)
     sim.run()
     assert sim.events_processed == 5
 
 
-def test_pending_events_excludes_cancelled():
-    sim = Simulator()
+def test_pending_events_excludes_cancelled(backend):
+    sim = Simulator(backend)
     sim.schedule_at(1, lambda: None)
     h = sim.schedule_at(2, lambda: None)
     h.cancel()
     assert sim.pending_events == 1
+
+
+# ----------------------------------------------------------------------
+# backend selection
+# ----------------------------------------------------------------------
+def test_default_backend_is_wheel(monkeypatch):
+    monkeypatch.delenv("REPRO_ENGINE_BACKEND", raising=False)
+    assert Simulator().backend == WHEEL_BACKEND
+
+
+def test_backend_env_var_selects_heap(monkeypatch):
+    monkeypatch.setenv("REPRO_ENGINE_BACKEND", HEAP_BACKEND)
+    assert Simulator().backend == HEAP_BACKEND
+    # an explicit argument still beats the environment
+    assert Simulator(WHEEL_BACKEND).backend == WHEEL_BACKEND
+
+
+def test_unknown_backend_rejected():
+    with pytest.raises(ValueError, match="unknown engine backend"):
+        Simulator("fibonacci")
+
+
+# ----------------------------------------------------------------------
+# tombstone cancellation semantics (ported to both backends; the wheel
+# must keep the O(1)-flag behaviour of the old heap's handles)
+# ----------------------------------------------------------------------
+def test_cancel_after_firing_is_safe(backend):
+    sim = Simulator(backend)
+    fired = []
+    handle = sim.schedule_at(5, fired.append, "x")
+    sim.run()
+    assert fired == ["x"]
+    handle.cancel()  # no error, no effect
+    handle.cancel()
+    assert not handle.active
+    sim.run()
+    assert fired == ["x"]
+
+
+def test_cancel_is_constant_time_flag_flip(backend):
+    """cancel() must not touch the queue: depth (which counts resident
+    tombstones) is unchanged, pending_events (live view) drops."""
+    sim = Simulator(backend)
+    handles = [sim.schedule_at(1000 + i, lambda: None) for i in range(100)]
+    depth_before = sim.queue_depth
+    for h in handles:
+        h.cancel()
+    assert sim.queue_depth == depth_before  # still resident as tombstones
+    assert sim.pending_events == 0
+    sim.run()
+    assert sim.events_processed == 0
+
+
+def test_cancelled_timer_discarded_without_firing(backend):
+    sim = Simulator(backend)
+    fired = []
+    keep = sim.schedule_at(50, fired.append, "keep")
+    kill = sim.schedule_at(50, fired.append, "kill")
+    kill.cancel()
+    sim.run()
+    assert fired == ["keep"]
+    assert keep.active  # fired events are not retroactively tombstoned
+    assert not kill.active
+
+
+def test_cancel_mid_batch_from_earlier_event(backend):
+    """An event can cancel a same-tick later event while the batch is
+    being dispatched."""
+    sim = Simulator(backend)
+    fired = []
+    later = sim.schedule_at(10, fired.append, "later")
+    sim.schedule_at(10, lambda: later.cancel(), priority=-1)
+    sim.run()
+    assert fired == []
+
+
+def test_reschedule_pattern_dead_timer(backend):
+    """The keepalive idiom: cancel + re-arm on every tick; only the last
+    armed timer may fire."""
+    sim = Simulator(backend)
+    expired = []
+    state = {"handle": None}
+
+    def arm():
+        if state["handle"] is not None:
+            state["handle"].cancel()
+        state["handle"] = sim.schedule_after(300, expired.append, sim.now)
+
+    for t in range(0, 1000, 100):
+        sim.schedule_at(t, arm)
+    sim.run()
+    assert expired == [900]  # only the final arm survived
+
+
+# ----------------------------------------------------------------------
+# wheel-specific shapes
+# ----------------------------------------------------------------------
+def test_far_horizon_events_fire_in_order(backend):
+    """Events beyond the wheel's 2^32-tick horizon take the fallback path
+    but must stay in exact (time, priority, seq) order."""
+    sim = Simulator(backend)
+    fired = []
+    sim.schedule_at(1 << 40, fired.append, "far")
+    sim.schedule_at((1 << 40) - 1, fired.append, "nearer")
+    sim.schedule_at(5, fired.append, "soon")
+    sim.run()
+    assert fired == ["soon", "nearer", "far"]
+    assert sim.now == 1 << 40
+
+
+def test_until_cut_then_behind_window_schedule(backend):
+    """Scheduling between an until-bounded run and the next run must stay
+    ordered even when the wheel already advanced past that window."""
+    sim = Simulator(backend)
+    fired = []
+    sim.schedule_at(100_000, fired.append, "a")
+    sim.schedule_at(70_000_000, fired.append, "z")
+    sim.run(until=60_000_000)
+    assert fired == ["a"]
+    # now == 60e6; the wheel's coarse windows have advanced.  These land
+    # behind/around them and must still fire in time order.
+    sim.schedule_at(60_000_001, fired.append, "b")
+    sim.schedule_at(65_000_000, fired.append, "c")
+    sim.run()
+    assert fired == ["a", "b", "c", "z"]
+
+
+def test_queue_depth_counts_tombstones_until_discarded(backend):
+    sim = Simulator(backend)
+    h = [sim.schedule_at(10, lambda: None) for _ in range(10)]
+    for handle in h[5:]:
+        handle.cancel()
+    assert sim.queue_depth == 10
+    sim.run()
+    assert sim.queue_depth == 0
+    assert sim.events_processed == 5
+
+
+def test_peak_queue_depth_high_water(backend):
+    sim = Simulator(backend)
+    for i in range(50):
+        sim.schedule_at(i, lambda: None)
+    sim.run()
+    assert sim.peak_queue_depth >= 50
+    assert sim.queue_depth == 0
+
+
+def test_budget_pause_then_same_tick_schedule(backend):
+    """Resuming after a max_events cut must preserve ordering for events
+    scheduled at the paused tick."""
+    sim = Simulator(backend)
+    fired = []
+    for i in range(4):
+        sim.schedule_at(10, fired.append, i)
+    sim.run(max_events=2)
+    assert fired == [0, 1]
+    assert sim.now == 10
+    sim.schedule_at(10, fired.append, "late")  # joins the paused tick
+    sim.run()
+    assert fired == [0, 1, 2, 3, "late"]

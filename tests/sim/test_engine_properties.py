@@ -66,3 +66,82 @@ def test_chained_timers_accumulate_exactly(period, count):
     sim.schedule_after(period, tick)
     sim.run()
     assert fired == [period * (i + 1) for i in range(count)]
+
+
+# ----------------------------------------------------------------------
+# differential: the timer wheel must fire in EXACTLY the binary heap's
+# order under arbitrary schedule/cancel/reschedule workloads — this is
+# the determinism contract that keeps golden digests byte-identical.
+# ----------------------------------------------------------------------
+_ops = st.lists(
+    st.one_of(
+        # (op, delay/time, priority)
+        st.tuples(st.just("at"), st.integers(min_value=0, max_value=1 << 34),
+                  st.integers(min_value=-2, max_value=2)),
+        st.tuples(st.just("after"),
+                  st.integers(min_value=0, max_value=1 << 20),
+                  st.integers(min_value=-2, max_value=2)),
+        st.tuples(st.just("cancel"),
+                  st.integers(min_value=0, max_value=200), st.just(0)),
+        st.tuples(st.just("reschedule"),
+                  st.integers(min_value=0, max_value=1 << 16), st.just(0)),
+    ),
+    min_size=1, max_size=120,
+)
+
+
+def _run_workload(backend, ops, segments):
+    from repro.sim.engine import Simulator as Sim
+    sim = Sim(backend=backend)
+    fired = []
+    handles = []
+
+    def make_cb(tag, todo):
+        def cb():
+            fired.append((sim.now, tag))
+            # nested operations exercise scheduling from callbacks
+            for op, value, priority in todo:
+                _apply(op, value, priority, tag)
+        return cb
+
+    def _apply(op, value, priority, tag):
+        if op == "at" and value >= sim.now:
+            handles.append(sim.schedule_at(value, make_cb((tag, value), ()),
+                                           priority=priority))
+        elif op == "after":
+            handles.append(sim.schedule_after(
+                value, make_cb((tag, "after", value), ()), priority=priority))
+        elif op == "cancel" and handles:
+            handles[value % len(handles)].cancel()
+        elif op == "reschedule" and handles:
+            handles[value % len(handles)].cancel()
+            handles.append(sim.schedule_after(
+                value + 1, make_cb((tag, "re", value), ())))
+
+    # seed phase: the first few ops also become nested payloads
+    for i, (op, value, priority) in enumerate(ops):
+        nested = tuple(ops[i + 1:i + 3])
+        if op in ("at", "after"):
+            cb = make_cb(i, nested)
+            if op == "at":
+                handles.append(sim.schedule_at(value, cb, priority=priority))
+            else:
+                handles.append(sim.schedule_after(value, cb,
+                                                  priority=priority))
+        else:
+            _apply(op, value, priority, i)
+
+    for until_step, budget in segments:
+        sim.run(until=sim.now + until_step, max_events=budget)
+    sim.run(max_events=5000)
+    return fired, sim.now, sim.events_processed
+
+
+@given(_ops,
+       st.lists(st.tuples(st.integers(min_value=0, max_value=1 << 30),
+                          st.integers(min_value=0, max_value=40)),
+                min_size=0, max_size=4))
+def test_wheel_matches_heap_firing_order(ops, segments):
+    heap_result = _run_workload("heap", ops, segments)
+    wheel_result = _run_workload("wheel", ops, segments)
+    assert wheel_result == heap_result
