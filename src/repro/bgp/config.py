@@ -16,7 +16,7 @@ from repro.stack.addresses import Ipv4Address, Ipv4Network
 from repro.bfd.session import BfdTimers
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.topology.clos import ClosTopology
+    from repro.topology import Topology
 
 
 @dataclass(frozen=True)
@@ -101,8 +101,18 @@ AGG_ASN_BASE = 64513      # + global pod index (matches Listing 1's 64513..)
 TOR_ASN_BASE = 65001      # + global ToR index
 
 
-def rfc7938_asn_plan(topo: "ClosTopology") -> dict[str, int]:
-    """node name -> ASN, per the RFC 7938 tiered plan."""
+def rfc7938_asn_plan(topo: "Topology") -> dict[str, int]:
+    """node name -> ASN, per the RFC 7938 tiered plan.
+
+    The RFC's shared per-pod aggregation ASN assumes siblings never
+    transit traffic for each other (in a strict Clos every pod device
+    has identical up/down adjacencies).  Recursively-defined fabrics
+    break that assumption: cross-cell routes must re-enter a sibling
+    proxy through the cell's ToRs, which AS-path loop prevention would
+    silently discard under a shared ASN.  When the fabric has no tier
+    above the aggregation role (the recursive-DCN signature), every
+    aggregation device therefore gets its own ASN instead.
+    """
     plan: dict[str, int] = {}
     for name in topo.all_supers():
         plan[name] = SUPER_ASN
@@ -110,12 +120,16 @@ def rfc7938_asn_plan(topo: "ClosTopology") -> dict[str, int]:
         for plane in zone_tops:
             for name in plane:
                 plan[name] = TOP_ASN_BASE + z
+    shared_pod_asn = bool(topo.all_tops() or topo.all_supers())
     pod_index = 0
     for zone_aggs in topo.aggs:
         for pod in zone_aggs:
             for name in pod:
                 plan[name] = AGG_ASN_BASE + pod_index
-            pod_index += 1
+                if not shared_pod_asn:
+                    pod_index += 1
+            if shared_pod_asn:
+                pod_index += 1
     for i, name in enumerate(topo.all_tors()):
         plan[name] = TOR_ASN_BASE + i
     return plan

@@ -4,8 +4,11 @@ The CLI wraps the experiment harness for interactive use — the
 simulator-era equivalent of the paper's FABRIC automation entry points:
 
     python -m repro stacks                            # list registered stacks
+    python -m repro topology list                     # registered fabrics
+    python -m repro topology show vl2 --json          # params + test points
     python -m repro stacks --json                     # machine-readable list
     python -m repro topo     --pods 4                 # build & validate
+    python -m repro topo     --topology dcell -T cells=4
     python -m repro converge --stack mtp --pods 2     # converge, show state
     python -m repro fail     --stack bgp-bfd --case TC1
     python -m repro fail     --stack mtp --case TC1 --runs 5 --jobs 4
@@ -22,7 +25,10 @@ simulator-era equivalent of the paper's FABRIC automation entry points:
 
 ``--stack`` accepts any name in the stack registry (see ``stacks``);
 registering a new stack via :func:`repro.stacks.register_stack` makes it
-available to every command here without CLI changes.  ``--jobs N`` fans
+available to every command here without CLI changes.  ``--topology``
+does the same for fabrics: any registered topology plugin (see
+``topology list``) runs under every command, parameterized with
+repeatable ``-T KEY=VALUE`` overrides.  ``--jobs N`` fans
 independent runs out over N worker processes (0 = one per core); results
 are byte-identical to the serial path (the engine is deterministic per
 seed).  Sweeps and batches reuse an on-disk result cache keyed by a
@@ -39,8 +45,13 @@ import sys
 import time
 
 from repro.sim.units import SECOND
-from repro.topology.clos import ClosParams, build_folded_clos
-from repro.topology.validate import validate_topology
+from repro.topology import (
+    UnknownTopologyError,
+    available_topologies,
+    build_topology,
+    get_topology,
+    validate_topology,
+)
 from repro.net.world import World
 from repro.stacks import available_stacks, get_stack, resolve_spec
 from repro.harness.cache import ResultCache, default_cache_root
@@ -68,12 +79,25 @@ EXIT_INTERRUPTED = 130
 
 
 def _add_topo_args(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--pods", type=int, default=2)
-    parser.add_argument("--tors", type=int, default=2, help="ToRs per pod")
-    parser.add_argument("--aggs", type=int, default=2, help="aggs per pod")
-    parser.add_argument("--tops", type=int, default=2, help="tops per plane")
-    parser.add_argument("--zones", type=int, default=1,
-                        help=">1 adds the super-spine tier")
+    parser.add_argument(
+        "--topology", choices=available_topologies(), default="clos",
+        help="fabric family to build (see the `topology` command)")
+    parser.add_argument(
+        "-T", "--topo-param", action="append", default=None,
+        metavar="KEY=VALUE", dest="topo_params",
+        help="override one topology parameter; repeatable (see "
+             "`topology show <name>` for the accepted keys)")
+    # legacy folded-Clos shorthands; -T works for every topology
+    parser.add_argument("--pods", type=int, default=None,
+                        help="clos only: PoDs (alias of -T num_pods=N)")
+    parser.add_argument("--tors", type=int, default=None,
+                        help="clos only: ToRs per pod")
+    parser.add_argument("--aggs", type=int, default=None,
+                        help="clos only: aggs per pod")
+    parser.add_argument("--tops", type=int, default=None,
+                        help="clos only: tops per plane")
+    parser.add_argument("--zones", type=int, default=None,
+                        help="clos only: >1 adds the super-spine tier")
     parser.add_argument("--seed", type=int, default=0)
 
 
@@ -166,12 +190,48 @@ def _campaign_epilogue(args, report, records) -> int:
     return EXIT_OK
 
 
-def _params(args) -> ClosParams:
-    return ClosParams(
-        num_pods=args.pods, tors_per_pod=args.tors,
-        aggs_per_pod=args.aggs, tops_per_plane=args.tops,
-        zones=args.zones,
-    )
+#: legacy clos flag -> canonical parameter name
+_LEGACY_CLOS_FLAGS = {
+    "pods": "num_pods",
+    "tors": "tors_per_pod",
+    "aggs": "aggs_per_pod",
+    "tops": "tops_per_plane",
+    "zones": "zones",
+}
+
+
+class _UsageError(Exception):
+    """Bad CLI input caught in main() -> EXIT_USAGE."""
+
+
+def _params(args):
+    """The selected fabric as a TopologySpec: --topology picks the
+    registered family, -T KEY=VALUE overrides its parameters, and the
+    legacy --pods/--tors/... shorthands keep working for clos."""
+    definition = get_topology(args.topology)
+    overrides = {}
+    for flag, name in _LEGACY_CLOS_FLAGS.items():
+        value = getattr(args, flag, None)
+        if value is None:
+            continue
+        if args.topology != "clos":
+            raise _UsageError(
+                f"--{flag} is a folded-Clos shorthand; with "
+                f"--topology {args.topology} use -T KEY=VALUE "
+                f"(see `topology show {args.topology}`)")
+        overrides[name] = value
+    raw = {}
+    for item in getattr(args, "topo_params", None) or []:
+        key, sep, value = item.partition("=")
+        if not sep or not key:
+            raise _UsageError(
+                f"-T expects KEY=VALUE, got {item!r}")
+        raw[key] = value
+    try:
+        overrides.update(definition.coerce_params(raw))
+        return definition.spec(**overrides)
+    except ValueError as exc:
+        raise _UsageError(str(exc)) from None
 
 
 def cmd_stacks(args) -> int:
@@ -198,9 +258,56 @@ def cmd_stacks(args) -> int:
     return 0
 
 
+def cmd_topology(args) -> int:
+    names = args.names or list(available_topologies())
+    if args.action == "list" and args.names:
+        raise _UsageError("`topology list` takes no names; "
+                          "use `topology show <name>`")
+    if args.json:
+        entries = []
+        for name in names:
+            definition = get_topology(name)
+            entries.append({
+                "name": name,
+                "display": definition.display,
+                "description": definition.description,
+                "params": dict(sorted(definition.default_params.items())),
+            })
+        print(json.dumps(entries, indent=2, sort_keys=True))
+        return 0
+    if args.action == "list":
+        for name in names:
+            definition = get_topology(name)
+            params = ", ".join(
+                f"{k}={v!r}"
+                for k, v in sorted(definition.default_params.items()))
+            suffix = f"  [{params}]" if params else ""
+            print(f"{name:<8} {definition.display:<26} "
+                  f"{definition.description}{suffix}")
+        return 0
+    for i, name in enumerate(names):
+        definition = get_topology(name)
+        if i:
+            print()
+        print(f"{name} — {definition.display}")
+        print(f"  {definition.description}")
+        print("  parameters:")
+        for key, value in sorted(definition.default_params.items()):
+            print(f"    {key} = {value!r}")
+        topo = definition.build_spec(definition.spec())
+        print("  default build: " + topo.describe().replace("\n", "; "))
+        cases = topo.failure_cases()
+        if cases:
+            print("  failure test points:")
+            for case in cases.values():
+                print(f"    {case.name}: fail {case.node}:{case.interface} "
+                      f"({case.description})")
+    return 0
+
+
 def cmd_topo(args) -> int:
     world = World(seed=args.seed)
-    topo = build_folded_clos(_params(args), world=world)
+    topo = build_topology(_params(args), world=world)
     validate_topology(topo)
     print(topo.describe())
     print("\nfailure test points:")
@@ -220,7 +327,10 @@ def cmd_converge(args) -> int:
                                           seed=args.seed)
     print(f"{display} converged at t = {world.sim.now / SECOND:.3f} s "
           f"({world.sim.events_processed} events)\n")
-    for name in args.show or (topo.aggs[0][0][0], topo.tops[0][0][0]):
+    default_show = [topo.aggs[0][0][0]]
+    default_show.append(topo.tops[0][0][0] if topo.all_tops()
+                        else topo.all_tors()[-1])
+    for name in args.show or default_show:
         print(dep.describe_node(name))
         print()
     return 0
@@ -506,7 +616,7 @@ def cmd_config(args) -> int:
         return 2
     spec = resolve_spec(args.stack)
     world = World(seed=args.seed, trace_enabled=False)
-    topo = build_folded_clos(_params(args), world=world)
+    topo = build_topology(_params(args), world=world)
     print(definition.render_config(topo, timers=spec.timers, node=args.node,
                                    **spec.params_dict()))
     return 0
@@ -524,6 +634,16 @@ def build_parser() -> argparse.ArgumentParser:
                           help="machine-readable output (name, display, "
                                "description, params)")
     p_stacks.set_defaults(func=cmd_stacks)
+
+    p_topos = sub.add_parser(
+        "topology", help="list or show registered topology plugins")
+    p_topos.add_argument("action", choices=("list", "show"))
+    p_topos.add_argument("names", nargs="*",
+                         help="topology names for `show` (default: all)")
+    p_topos.add_argument("--json", action="store_true",
+                         help="machine-readable output (name, display, "
+                              "description, params)")
+    p_topos.set_defaults(func=cmd_topology)
 
     p_topo = sub.add_parser("topo", help="build and validate a fabric")
     _add_topo_args(p_topo)
@@ -653,8 +773,10 @@ def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.func(args)
-    except (ScenarioError, UnknownTargetError) as exc:
-        # bad scenario files / symbolic targets are user input, not bugs
+    except (ScenarioError, UnknownTargetError, UnknownTopologyError,
+            _UsageError) as exc:
+        # bad scenario files / symbolic targets / topology selections
+        # are user input, not bugs
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_USAGE
     except (FanoutInterrupted, SupervisorInterrupted) as exc:

@@ -15,7 +15,7 @@ from typing import TYPE_CHECKING, Optional
 from repro.sim.units import MILLISECOND
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.topology.clos import ClosTopology
+    from repro.topology import Topology
 
 
 @dataclass(frozen=True)
@@ -70,7 +70,7 @@ class MtpGlobalConfig:
     timers: MtpTimers = field(default_factory=MtpTimers)
 
     @classmethod
-    def from_topology(cls, topo: "ClosTopology",
+    def from_topology(cls, topo: "Topology",
                       timers: MtpTimers = MtpTimers()) -> "MtpGlobalConfig":
         config = cls(timers=timers)
         for name in topo.routers():

@@ -13,7 +13,6 @@ import statistics
 from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence
 
-from repro.topology.clos import ClosParams
 from repro.stacks import StackTimers, resolve_spec
 from repro.harness.experiments import (
     ExperimentResult,
@@ -60,7 +59,7 @@ class FailureStudy:
 
 
 def failure_study(
-    params: ClosParams,
+    params,
     stack,
     case: str,
     seeds: Iterable[int],
@@ -90,7 +89,7 @@ def speedup(numerator: Aggregate, denominator: Aggregate) -> float:
 
 
 def compare_stacks(
-    params: ClosParams,
+    params,
     case: str,
     seeds: Iterable[int],
     stacks: Sequence = ("mtp", "bgp", "bgp-bfd"),

@@ -31,7 +31,10 @@ from repro.harness.digest import canonical_json, payload_digest
 # fields, different counting rules...): old entries then miss cleanly.
 # 2: stack-plugin refactor — keys derive from registry name + canonical
 #    params (not the StackKind enum); experiment payloads store "stack".
-CACHE_SCHEMA = 2
+# 3: topology-plugin refactor — the "params" key component is now a
+#    TopologySpec (registry name + canonical params) instead of the raw
+#    clos dataclass; schema-2 entries keyed the old way miss cleanly.
+CACHE_SCHEMA = 3
 
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 

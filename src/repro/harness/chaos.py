@@ -38,7 +38,7 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.sim.units import MILLISECOND, SECOND
-from repro.topology.clos import ClosParams
+from repro.topology import TopologySpec, resolve_topology_spec
 from repro.stacks import StackSpec, StackTimers, resolve_spec
 from repro.net.impairment import ImpairmentProfile
 from repro.harness.cache import ResultCache, task_key
@@ -73,13 +73,17 @@ DEFAULT_TRAFFIC_COUNT = 1000
 class ChaosPointSpec:
     """One chaos grid point: everything a worker needs (picklable)."""
 
-    params: ClosParams
+    params: TopologySpec
     stack: StackSpec
     seed: int
     loss: float
     window_ms: int = DEFAULT_WINDOW_MS
     traffic_pps: int = DEFAULT_TRAFFIC_PPS
     traffic_count: int = DEFAULT_TRAFFIC_COUNT
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "params",
+                           resolve_topology_spec(self.params))
 
 
 @dataclass
@@ -115,14 +119,17 @@ class ChaosOutcome:
 # one chaos point = one task (top-level for the process pool)
 # ----------------------------------------------------------------------
 def _first_tor_uplink(topo):
-    """The first ToR's first fabric uplink — the canonical gray link."""
+    """The first ToR's first fabric uplink — the canonical gray link.
+
+    Uses the topology's own ``fabric_ports`` hook, so families that
+    redefine "up" (same-tier cross links) still nominate a sane link.
+    """
     tor_name = topo.all_tors()[0]
-    node = topo.node(tor_name)
-    for iface in node.interfaces.values():
-        peer = iface.peer()
-        if peer is not None and peer.node.tier > node.tier:
-            return tor_name, iface, peer.node.name
-    raise RuntimeError(f"{tor_name} has no fabric uplink to impair")
+    ports = topo.fabric_ports(tor_name, up=True)
+    if not ports:
+        raise RuntimeError(f"{tor_name} has no fabric uplink to impair")
+    iface = topo.node(tor_name).interfaces[ports[0]]
+    return tor_name, iface, iface.peer().node.name
 
 
 def run_chaos_point(spec: ChaosPointSpec) -> ChaosOutcome:
@@ -238,7 +245,7 @@ def decode_chaos_outcome(payload: dict) -> ChaosOutcome:
 # the grid driver
 # ----------------------------------------------------------------------
 def chaos_specs(
-    params: ClosParams,
+    params,
     stacks: Sequence,
     rates: Sequence[float] = DEFAULT_RATES,
     seed: int = 0,
@@ -264,7 +271,7 @@ def chaos_point_label(spec: ChaosPointSpec) -> str:
 
 
 def run_chaos_suite(
-    params: ClosParams,
+    params,
     stacks: Sequence,
     rates: Sequence[float] = DEFAULT_RATES,
     seed: int = 0,

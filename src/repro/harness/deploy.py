@@ -1,4 +1,4 @@
-"""Protocol deployment onto a built folded-Clos.
+"""Protocol deployment onto any built topology.
 
 The analogue of the paper's "scripts ... to deploy the software (such as
 BGP, BFD, MR-MTP) at the DCN routers": wires the full per-node service
@@ -24,7 +24,7 @@ from repro.core.config import MtpGlobalConfig, MtpTimers
 from repro.core.protocol import MtpNode
 from repro.core.vid import WideDerivation
 from repro.stacks.base import ConfigCost, TableStats
-from repro.topology.clos import ClosTopology, TIER_SERVER
+from repro.topology import TIER_SERVER, Topology
 
 MAX_TRACE_HOPS = 32
 
@@ -35,7 +35,7 @@ class ServerHost:
     udp: UdpService
 
 
-def deploy_servers(topo: ClosTopology) -> dict[str, ServerHost]:
+def deploy_servers(topo: Topology) -> dict[str, ServerHost]:
     """IP stacks + default routes on every server."""
     hosts: dict[str, ServerHost] = {}
     for tor, servers in topo.servers.items():
@@ -53,7 +53,7 @@ def deploy_servers(topo: ClosTopology) -> dict[str, ServerHost]:
     return hosts
 
 
-def _server_facing_ports(topo: ClosTopology, router: str) -> list[str]:
+def _server_facing_ports(topo: Topology, router: str) -> list[str]:
     node = topo.node(router)
     return [
         iface.name
@@ -62,7 +62,7 @@ def _server_facing_ports(topo: ClosTopology, router: str) -> list[str]:
     ]
 
 
-def _install_rack_host_routes(topo: ClosTopology, tor: str, stack: IpStack) -> None:
+def _install_rack_host_routes(topo: Topology, tor: str, stack: IpStack) -> None:
     """/32 host routes toward each server (routed-rack design), so racks
     with several servers forward correctly past the shared /24."""
     node = topo.node(tor)
@@ -82,7 +82,7 @@ def _install_rack_host_routes(topo: ClosTopology, tor: str, stack: IpStack) -> N
 # ----------------------------------------------------------------------
 @dataclass
 class BgpDeployment:
-    topo: ClosTopology
+    topo: Topology
     speakers: dict[str, BgpSpeaker]
     stacks: dict[str, IpStack]
     servers: dict[str, ServerHost]
@@ -184,7 +184,7 @@ class BgpDeployment:
 
 
 def deploy_bgp(
-    topo: ClosTopology,
+    topo: Topology,
     bfd: bool = False,
     timers: Optional[BgpTimers] = None,
     bfd_timers: Optional[BfdTimers] = None,
@@ -248,7 +248,7 @@ def deploy_bgp(
 # ----------------------------------------------------------------------
 @dataclass
 class MtpDeployment:
-    topo: ClosTopology
+    topo: Topology
     mtp_nodes: dict[str, MtpNode]
     tor_stacks: dict[str, IpStack]
     servers: dict[str, ServerHost]
@@ -341,7 +341,7 @@ class MtpDeployment:
 
 
 def deploy_mtp(
-    topo: ClosTopology,
+    topo: Topology,
     timers: Optional[MtpTimers] = None,
     per_packet_spray: bool = False,
 ) -> MtpDeployment:

@@ -20,7 +20,7 @@ from typing import Optional
 
 from repro.sim.units import MILLISECOND, SECOND
 from repro.net.world import World
-from repro.topology.clos import ClosParams, build_folded_clos
+from repro.topology import TopologySpec, build_topology, resolve_topology_spec
 from repro.stacks import (
     StackKind,
     StackSpec,
@@ -67,7 +67,7 @@ __all__ = [
 
 
 def build_and_converge(
-    params: ClosParams,
+    params,
     stack,
     seed: int = 0,
     timers: Optional[StackTimers] = None,
@@ -75,11 +75,16 @@ def build_and_converge(
     max_converge_us: int = 60 * SECOND,
 ):
     """Fresh world + topology + converged deployment of any registered
-    stack (name, spec, definition, or legacy enum)."""
+    stack (name, spec, definition, or legacy enum).
+
+    ``params`` selects the fabric in any spelling the topology registry
+    resolves — a :class:`~repro.topology.TopologySpec`, a registry name,
+    a legacy params dataclass, or ``None`` for the default folded-Clos.
+    """
     spec = resolve_spec(stack, timers)
     definition = get_stack(spec.name)
     world = World(seed=seed, trace_enabled=trace_enabled)
-    topo = build_folded_clos(params, world=world)
+    topo = build_topology(params, world=world)
     deployment = definition.build(topo, spec)
     deployment.start()
     converge_from_cold(world, deployment, deployment.ready,
@@ -122,7 +127,7 @@ class ExperimentResult:
 
 
 def run_failure_experiment(
-    params: ClosParams,
+    params,
     stack,
     case_name: str,
     seed: int = 0,
@@ -181,14 +186,23 @@ def run_failure_experiment(
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class ExperimentSpec:
-    """One failure run as an independent, picklable task."""
+    """One failure run as an independent, picklable task.
 
-    params: ClosParams
+    ``params`` normalizes to a :class:`~repro.topology.TopologySpec` on
+    construction, so legacy call sites passing a concrete params
+    dataclass still build the same cache key as registry-first callers.
+    """
+
+    params: TopologySpec
     stack: StackSpec
     case_name: str
     seed: int
     quiet_us: int = 1 * SECOND
     max_wait_us: int = 30 * SECOND
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "params",
+                           resolve_topology_spec(self.params))
 
 
 @dataclass
@@ -258,7 +272,7 @@ def decode_experiment_outcome(payload: dict) -> ExperimentOutcome:
 
 
 def run_experiment_batch(
-    params: ClosParams,
+    params,
     stack,
     case_name: str,
     seeds: Optional[tuple[int, ...]] = None,
@@ -301,7 +315,7 @@ def run_experiment_batch(
 
 
 def average_failure_runs(
-    params: ClosParams,
+    params,
     stack,
     case_name: str,
     seeds: tuple[int, ...] = (0, 1, 2),
@@ -345,7 +359,7 @@ class PacketLossResult:
 
 
 def run_packet_loss_experiment(
-    params: ClosParams,
+    params,
     stack,
     case_name: str,
     direction: str = "near",
@@ -412,7 +426,7 @@ def run_packet_loss_experiment(
 # keepalive overhead (Figs. 9 and 10)
 # ----------------------------------------------------------------------
 def run_keepalive_experiment(
-    params: ClosParams,
+    params,
     stack,
     seed: int = 0,
     timers: Optional[StackTimers] = None,
@@ -446,7 +460,7 @@ class ConfigCostResult:
 
 
 def run_config_cost_experiment(
-    params: ClosParams,
+    params,
     stack,
     seed: int = 0,
     timers: Optional[StackTimers] = None,
@@ -477,7 +491,7 @@ class TableSizeResult:
 
 
 def run_table_size_experiment(
-    params: ClosParams,
+    params,
     stack,
     seed: int = 0,
     timers: Optional[StackTimers] = None,
@@ -487,9 +501,11 @@ def run_table_size_experiment(
     spec = resolve_spec(stack, timers)
     world, topo, deployment = build_and_converge(params, spec, seed)
     results = {}
-    for role, node_name in (("agg", topo.aggs[0][0][0]),
-                            ("top", topo.tops[0][0][0]),
-                            ("tor", topo.tors[0][0][0])):
+    roles = [("agg", topo.aggs[0][0][0])]
+    if topo.all_tops():  # recursively-defined fabrics have no top tier
+        roles.append(("top", topo.tops[0][0][0]))
+    roles.append(("tor", topo.tors[0][0][0]))
+    for role, node_name in roles:
         stats = deployment.table_stats(node_name)
         results[role] = TableSizeResult(
             stack=spec.name, node=node_name, entries=stats.entries,

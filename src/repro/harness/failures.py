@@ -16,7 +16,7 @@ from repro.net.impairment import (
     rng_stream_name,
 )
 from repro.net.world import World
-from repro.topology.clos import ClosTopology, FailureCase
+from repro.topology import FailureCase, Topology
 
 
 class UnknownTargetError(KeyError):
@@ -84,7 +84,7 @@ class FailureInjector:
         else:
             self.world.sim.schedule_at(at, self._do, node_name, iface_name, True)
 
-    def fail_case(self, topo: ClosTopology, case: FailureCase,
+    def fail_case(self, topo: Topology, case: FailureCase,
                   at: Optional[int] = None) -> None:
         self.fail_interface(case.node, case.interface, at)
 

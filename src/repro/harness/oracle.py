@@ -21,11 +21,11 @@ from typing import Iterable
 
 import networkx as nx
 
-from repro.topology.clos import ClosTopology, TIER_SERVER
+from repro.topology import TIER_SERVER, Topology
 from repro.harness.pathtrace import trace_path
 
 
-def alive_fabric_graph(topo: ClosTopology) -> nx.DiGraph:
+def alive_fabric_graph(topo: Topology) -> nx.DiGraph:
     """Directed graph of alive fabric links: an edge u->v exists when a
     frame can actually travel from u to v (u's interface can transmit
     and v's can receive — the paper's one-sided failure semantics)."""
@@ -72,7 +72,7 @@ def _down_closure(graph: nx.DiGraph, start: str) -> set[str]:
     return closure
 
 
-def oracle_reachable(topo: ClosTopology, src_tor: str, dst_tor: str) -> bool:
+def oracle_reachable(topo: Topology, src_tor: str, dst_tor: str) -> bool:
     """True when a valley-free path src_tor -> dst_tor exists over the
     alive links: some node lies both in src's up-closure and in the set
     of nodes that can descend to dst."""
@@ -93,7 +93,7 @@ class OracleDisagreement:
 
 def compare_with_oracle(
     deployment,
-    topo: ClosTopology,
+    topo: Topology,
     probe_ports: Iterable[int] = (40000, 40001, 40002, 40003),
 ) -> list[OracleDisagreement]:
     """Check every rack pair against the oracle; return disagreements.

@@ -65,9 +65,18 @@ def find_crossing_flow(
     dst_port: int = 7777,
     port_range: range = range(40000, 40256),
 ) -> Optional[int]:
-    """A source port whose flow crosses the given link, or None."""
+    """A source port whose flow crosses the given link, or None.
+
+    A flow whose forwarding state dead-ends (a blackholed pair — e.g.
+    MR-MTP cross-cell traffic on a recursive fabric) cannot cross the
+    link, so the search skips it; callers that need a path to *exist*
+    use :func:`trace_path` directly and get the loud failure."""
     for src_port in port_range:
-        path = trace_path(deployment, src_host, dst_host, src_port, dst_port)
+        try:
+            path = trace_path(deployment, src_host, dst_host,
+                              src_port, dst_port)
+        except RuntimeError:
+            continue
         if path_crosses_link(path, link_a, link_b):
             return src_port
     return None

@@ -23,7 +23,12 @@ from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
 from repro.sim.units import SECOND
-from repro.topology.clos import ClosParams, ClosTopology, TIER_SERVER
+from repro.topology import (
+    TIER_SERVER,
+    Topology,
+    TopologySpec,
+    resolve_topology_spec,
+)
 from repro.stacks import StackSpec, StackTimers, resolve_spec
 from repro.net.impairment import ImpairmentProfile
 from repro.harness.cache import ResultCache, task_key
@@ -61,7 +66,7 @@ class SweepResult:
 class SweepPointSpec:
     """One sweep task: everything a worker process needs (picklable)."""
 
-    params: ClosParams
+    params: TopologySpec
     stack: StackSpec
     seed: int
     point: FailurePoint
@@ -70,6 +75,10 @@ class SweepPointSpec:
     #: failure plays out — sweeping under gray noise instead of a
     #: pristine fabric.  0.0 (the default) keeps the classic sweep.
     ambient_loss: float = 0.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "params",
+                           resolve_topology_spec(self.params))
 
 
 @dataclass
@@ -80,7 +89,7 @@ class SweepOutcome:
     digest: str
 
 
-def fabric_failure_points(topo: ClosTopology) -> list[FailurePoint]:
+def fabric_failure_points(topo: Topology) -> list[FailurePoint]:
     """Every router-to-router interface in the fabric."""
     points = []
     for name in topo.routers():
@@ -93,14 +102,14 @@ def fabric_failure_points(topo: ClosTopology) -> list[FailurePoint]:
     return points
 
 
-def _rack_pairs(topo: ClosTopology) -> list[tuple[str, str]]:
+def _rack_pairs(topo: Topology) -> list[tuple[str, str]]:
     tors = topo.all_tors()
     return [(a, b) for a in tors for b in tors if a != b]
 
 
 def check_all_pairs(
     deployment,
-    topo: ClosTopology,
+    topo: Topology,
     probe_ports: Iterable[int] = (40000, 40001, 40002, 40003),
 ) -> tuple[int, list[tuple[str, str, str]]]:
     """Trace several flows between every rack pair; collect failures."""
@@ -194,7 +203,7 @@ def decode_sweep_outcome(payload: dict) -> SweepOutcome:
 # the sweep driver
 # ----------------------------------------------------------------------
 def sweep_specs(
-    params: ClosParams,
+    params,
     stack,
     seed: int = 0,
     timers: Optional[StackTimers] = None,
@@ -224,7 +233,7 @@ def sweep_point_label(spec: SweepPointSpec) -> str:
 
 
 def single_failure_sweep_outcomes(
-    params: ClosParams,
+    params,
     stack,
     seed: int = 0,
     timers: Optional[StackTimers] = None,
@@ -263,7 +272,7 @@ def single_failure_sweep_outcomes(
 
 
 def single_failure_sweep(
-    params: ClosParams,
+    params,
     stack,
     seed: int = 0,
     timers: Optional[StackTimers] = None,

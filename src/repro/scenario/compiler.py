@@ -28,7 +28,7 @@ from typing import Optional
 
 from repro.sim.units import MILLISECOND, SECOND
 from repro.net.world import World
-from repro.topology.clos import ClosTopology
+from repro.topology import Topology
 from repro.harness.convergence import ConvergenceMonitor
 from repro.harness.failures import FailureInjector
 from repro.harness.metrics import (
@@ -111,7 +111,7 @@ class CompiledScenario:
     computed, ready to execute exactly once."""
 
     def __init__(self, scenario: Scenario, world: World,
-                 topo: ClosTopology, deployment) -> None:
+                 topo: Topology, deployment) -> None:
         self.scenario = scenario
         self.world = world
         self.topo = topo
@@ -318,7 +318,7 @@ class CompiledScenario:
             analyzer.close()
 
 
-def compile_scenario(scenario: Scenario, world: World, topo: ClosTopology,
+def compile_scenario(scenario: Scenario, world: World, topo: Topology,
                      deployment) -> CompiledScenario:
     """Resolve ``scenario`` against a built, converged fabric."""
     return CompiledScenario(scenario, world, topo, deployment)

@@ -10,8 +10,8 @@ table snapshot is taken.
 
 Scenarios are pure data: symbolic targets (``"tor[0].uplink[1]"``,
 ``"any-spine"``, ``"case:TC1"`` — see :mod:`repro.scenario.targets`)
-stay unresolved until a compile against a built
-:class:`~repro.topology.clos.ClosTopology`.  They serialize to canonical
+stay unresolved until a compile against a built fabric (any registered
+:class:`~repro.topology.Topology`).  They serialize to canonical
 JSON (sorted keys, no incidental whitespace), so a scenario flows
 through the content-addressed result cache and the parallel runner
 exactly like any other task component.

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.sim.units import SECOND
-from repro.topology.clos import ClosParams
+from repro.topology import TopologySpec, resolve_topology_spec
 from repro.stacks import StackSpec, StackTimers, resolve_spec
 from repro.harness.cache import ResultCache, task_key
 from repro.harness.digest import run_digest
@@ -37,10 +37,14 @@ from repro.scenario.model import Scenario
 class ScenarioRunSpec:
     """One scenario run as an independent, picklable task."""
 
-    params: ClosParams
+    params: TopologySpec
     stack: StackSpec
     scenario: Scenario
     seed: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "params",
+                           resolve_topology_spec(self.params))
 
 
 @dataclass
@@ -53,7 +57,7 @@ class ScenarioOutcome:
 
 def run_scenario(
     scenario: Scenario,
-    params: ClosParams,
+    params,
     stack,
     seed: int = 0,
     timers: Optional[StackTimers] = None,
@@ -155,7 +159,7 @@ def decode_scenario_outcome(payload: dict) -> ScenarioOutcome:
 # suite runner: scenarios x stacks through the fan-out machinery
 # ----------------------------------------------------------------------
 def scenario_suite_specs(
-    params: ClosParams,
+    params,
     scenarios: Sequence[Scenario],
     stacks: Sequence,
     seed: int = 0,
@@ -177,7 +181,7 @@ def scenario_task_label(spec: ScenarioRunSpec) -> str:
 
 
 def run_scenario_suite(
-    params: ClosParams,
+    params,
     scenarios: Sequence[Scenario],
     stacks: Sequence,
     seed: int = 0,

@@ -33,7 +33,7 @@ from __future__ import annotations
 import re
 
 from repro.harness.failures import UnknownTargetError
-from repro.topology.clos import ClosTopology, TIER_SERVER
+from repro.topology import TIER_SERVER, Topology
 
 RNG_STREAM = "scenario-targets"
 
@@ -48,7 +48,7 @@ class TargetResolver:
     """Resolves symbolic expressions against one built fabric, memoizing
     per expression so repeated mentions agree with each other."""
 
-    def __init__(self, topo: ClosTopology) -> None:
+    def __init__(self, topo: Topology) -> None:
         self.topo = topo
         self.rng = topo.world.rng.stream(RNG_STREAM)
         self._nodes: dict[str, str] = {}
@@ -139,15 +139,10 @@ class TargetResolver:
         return node_name, ports[j]
 
     def _fabric_ports(self, node_name: str, up: bool) -> list[str]:
-        node = self.topo.node(node_name)
-        ports = []
-        for iface in node.interfaces.values():
-            peer = iface.peer()
-            if peer is None or peer.node.tier == TIER_SERVER:
-                continue
-            if (peer.node.tier > node.tier) == up:
-                ports.append(iface.name)
-        return ports
+        # delegate to the topology's own notion of up/down: strictly
+        # tiered fabrics compare tiers, recursively-defined ones treat
+        # same-tier cross links as "up" (out of the cell)
+        return self.topo.fabric_ports(node_name, up)
 
     # ------------------------------------------------------------------
     # link targets

@@ -77,7 +77,9 @@ def render_bgp_config(topo: Any, timers: Optional[StackTimers] = None,
     bundle = timers if timers is not None else StackTimers()
     deployment = deploy_bgp_stack(topo, bundle, bfd=bfd,
                                   multipath=multipath)
-    node = node or topo.tops[0][0][0]
+    # prefer a top spine; fabrics without a top tier (recursive DCNs)
+    # show their first router instead
+    node = node or (topo.all_tops() or topo.routers())[0]
     lines = [f"! configuration for {node}"]
     lines.extend(deployment.speakers[node].config.config_lines())
     return "\n".join(lines)

@@ -1,4 +1,4 @@
-"""Folded-Clos builder.
+"""Folded-Clos builder — topology plugin zero.
 
 Topology model (matching the paper's Figs. 2-3):
 
@@ -17,25 +17,43 @@ port number), so interfaces are created in a fixed order: downstream
 ports first, then upstream ports, then (on ToRs) the rack port — giving
 the rack port the highest number, as in the paper's Listing 2 where it is
 configured explicitly.
+
+This module is registered as the ``"clos"`` plugin in
+:mod:`repro.topology.builtin`; everything outside :mod:`repro.topology`
+reaches it through the registry (``build_topology``, ``TopologySpec``),
+never by importing :class:`ClosParams`/:class:`ClosTopology` directly —
+enforced by ``tests/topology/test_lint.py``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.net.link import DEFAULT_BANDWIDTH_BPS, DEFAULT_PROPAGATION_US
-from repro.net.node import Node
 from repro.net.world import World
-from repro.stack.addresses import Ipv4Address, Ipv4Network
+from repro.topology.base import (
+    FIRST_TOR_VID,
+    TIER_AGG,
+    TIER_SERVER,
+    TIER_SUPER,
+    TIER_TOP,
+    TIER_TOR,
+    AddressAllocator,
+    BaseTopology,
+    FailureCase,
+    TopologyError,
+    cable_fabric_link,
+    provision_racks,
+    rack_subnet_for,
+)
 
-TIER_SERVER = 0
-TIER_TOR = 1
-TIER_AGG = 2
-TIER_TOP = 3
-TIER_SUPER = 4
-
-FIRST_TOR_VID = 11  # first rack subnet is 192.168.11.0/24, as in Fig. 2
+__all__ = [
+    "TIER_SERVER", "TIER_TOR", "TIER_AGG", "TIER_TOP", "TIER_SUPER",
+    "FIRST_TOR_VID", "FailureCase",
+    "ClosParams", "ClosTopology", "build_folded_clos",
+    "two_pod_params", "four_pod_params",
+]
 
 
 @dataclass(frozen=True)
@@ -59,6 +77,12 @@ class ClosParams:
                 raise ValueError(f"{name} must be >= 1")
         if self.servers_per_rack < 0:
             raise ValueError("servers_per_rack must be >= 0")
+
+    @property
+    def topology_name(self) -> str:
+        """The registry name this params object resolves to (duck-typed
+        by :func:`repro.topology.registry.resolve_topology_spec`)."""
+        return "clos"
 
     @property
     def num_planes(self) -> int:
@@ -93,71 +117,13 @@ def four_pod_params(**overrides) -> ClosParams:
     return ClosParams(num_pods=4, **overrides)
 
 
-@dataclass(frozen=True)
-class FailureCase:
-    """One of the paper's interface-failure test points.
-
-    ``node`` is the device whose interface is administratively downed (it
-    detects instantly); the peer must rely on protocol timers.
-    """
-
-    name: str
-    node: str
-    interface: str
-    peer_node: str
-    description: str
-
-
-class ClosTopology:
+class ClosTopology(BaseTopology):
     """A built fabric: nodes, links, addressing and failure points."""
 
+    topology_name = "clos"
+
     def __init__(self, world: World, params: ClosParams) -> None:
-        self.world = world
-        self.params = params
-        # zone -> pod -> list of node names
-        self.tors: list[list[list[str]]] = []
-        self.aggs: list[list[list[str]]] = []
-        # zone -> plane -> list of top names
-        self.tops: list[list[list[str]]] = []
-        # group -> list of super-spine names
-        self.supers: list[list[str]] = []
-        self.servers: dict[str, list[str]] = {}       # tor -> hosts
-        self.rack_subnet: dict[str, Ipv4Network] = {} # tor -> 192.168.V.0/24
-        self.rack_port: dict[str, str] = {}           # tor -> iface name
-        self.tor_vid_seed: dict[str, int] = {}        # tor -> third byte V
-        self.server_gateway: dict[str, Ipv4Address] = {}  # host -> ToR-side addr
-
-    # ------------------------------------------------------------------
-    def node(self, name: str) -> Node:
-        return self.world.node(name)
-
-    def all_tors(self) -> list[str]:
-        return [t for zone in self.tors for pod in zone for t in pod]
-
-    def all_aggs(self) -> list[str]:
-        return [a for zone in self.aggs for pod in zone for a in pod]
-
-    def all_tops(self) -> list[str]:
-        return [t for zone in self.tops for plane in zone for t in plane]
-
-    def all_supers(self) -> list[str]:
-        return [s for group in self.supers for s in group]
-
-    def routers(self) -> list[str]:
-        return self.all_tors() + self.all_aggs() + self.all_tops() + self.all_supers()
-
-    def all_servers(self) -> list[str]:
-        return [h for hosts in self.servers.values() for h in hosts]
-
-    def first_server_of(self, tor: str) -> str:
-        return self.servers[tor][0]
-
-    def server_address(self, host: str) -> Ipv4Address:
-        node = self.node(host)
-        for iface in node.interfaces.values():
-            if iface.address is not None:
-                return iface.address
-        raise ValueError(f"{host} has no address")
+        super().__init__(world, params)
 
     # ------------------------------------------------------------------
     # the paper's four failure test cases (TC1-TC4, Fig. 3)
@@ -184,14 +150,6 @@ class ClosTopology:
                                "agg-top link fails at top side"),
         }
 
-    def _iface_between(self, node_name: str, peer_name: str) -> str:
-        node = self.node(node_name)
-        for iface in node.interfaces.values():
-            peer = iface.peer()
-            if peer is not None and peer.node.name == peer_name:
-                return iface.name
-        raise ValueError(f"no link between {node_name} and {peer_name}")
-
     # ------------------------------------------------------------------
     def describe(self) -> str:
         p = self.params
@@ -205,20 +163,98 @@ class ClosTopology:
         ]
         return "\n".join(lines)
 
+    # ------------------------------------------------------------------
+    def _neighbors_by_tier(self, name: str) -> dict[int, set[str]]:
+        node = self.node(name)
+        result: dict[int, set[str]] = {}
+        for iface in node.interfaces.values():
+            peer = iface.peer()
+            if peer is None:
+                continue
+            result.setdefault(peer.node.tier, set()).add(peer.node.name)
+        return result
 
-class _AddressAllocator:
-    """Sequential /31 allocation for fabric p2p links from 172.16.0.0/16."""
+    def validate_structure(self) -> None:
+        """The folded-Clos wiring invariants (the simulator-side analogue
+        of the paper's topology-verification scripts)."""
+        p = self.params
 
-    def __init__(self) -> None:
-        self._next = 0
-        self._base = Ipv4Address.parse("172.16.0.0").value
+        # counts
+        expected_routers = p.num_routers
+        if len(self.routers()) != expected_routers:
+            raise TopologyError(
+                f"expected {expected_routers} routers, built "
+                f"{len(self.routers())}"
+            )
 
-    def next_pair(self) -> tuple[Ipv4Address, Ipv4Address]:
-        base = self._base + 2 * self._next
-        self._next += 1
-        if base + 1 >= Ipv4Address.parse("172.17.0.0").value:
-            raise ValueError("fabric address pool exhausted (172.16/16)")
-        return Ipv4Address(base), Ipv4Address(base + 1)
+        # ToRs: uplinks to every agg in their pod, plus rack ports
+        for z in range(p.zones):
+            for pod in range(p.num_pods):
+                pod_aggs = set(self.aggs[z][pod])
+                for tor in self.tors[z][pod]:
+                    up = self._neighbors_by_tier(tor).get(TIER_AGG, set())
+                    if up != pod_aggs:
+                        raise TopologyError(
+                            f"{tor} uplinks {sorted(up)} != pod aggs "
+                            f"{sorted(pod_aggs)}"
+                        )
+                    servers = self._neighbors_by_tier(tor).get(
+                        TIER_SERVER, set())
+                    if len(servers) != p.servers_per_rack:
+                        raise TopologyError(
+                            f"{tor} has {len(servers)} servers, expected "
+                            f"{p.servers_per_rack}"
+                        )
+
+        # aggs: down to every ToR in pod, up to every top in their plane
+        for z in range(p.zones):
+            for pod in range(p.num_pods):
+                pod_tors = set(self.tors[z][pod])
+                for a_idx, agg in enumerate(self.aggs[z][pod]):
+                    nbrs = self._neighbors_by_tier(agg)
+                    if nbrs.get(TIER_TOR, set()) != pod_tors:
+                        raise TopologyError(f"{agg} downlinks wrong")
+                    plane_tops = set(self.tops[z][a_idx])
+                    if nbrs.get(TIER_TOP, set()) != plane_tops:
+                        raise TopologyError(
+                            f"{agg} uplinks {nbrs.get(TIER_TOP)} != plane "
+                            f"{sorted(plane_tops)}"
+                        )
+
+        # tops: one agg (the plane's) per pod in their zone
+        for z in range(p.zones):
+            for plane in range(p.num_planes):
+                plane_aggs = {self.aggs[z][pod][plane]
+                              for pod in range(p.num_pods)}
+                for top in self.tops[z][plane]:
+                    nbrs = self._neighbors_by_tier(top)
+                    if nbrs.get(TIER_AGG, set()) != plane_aggs:
+                        raise TopologyError(
+                            f"{top} downlinks {nbrs.get(TIER_AGG)} != "
+                            f"{plane_aggs}"
+                        )
+                    supers = nbrs.get(TIER_SUPER, set())
+                    expected_supers = p.supers_per_group if p.zones > 1 else 0
+                    if len(supers) != expected_supers:
+                        raise TopologyError(
+                            f"{top} has {len(supers)} super uplinks, "
+                            f"expected {expected_supers}"
+                        )
+
+        # super-spines: their group's top position in every zone
+        group_idx = 0
+        for plane in range(p.num_planes):
+            for k in range(p.tops_per_plane):
+                if p.zones <= 1:
+                    break
+                group = self.supers[group_idx]
+                group_idx += 1
+                expected_tops = {self.tops[z][plane][k]
+                                 for z in range(p.zones)}
+                for sup in group:
+                    nbrs = self._neighbors_by_tier(sup)
+                    if nbrs.get(TIER_TOP, set()) != expected_tops:
+                        raise TopologyError(f"{sup} downlinks wrong")
 
 
 def build_folded_clos(
@@ -232,7 +268,7 @@ def build_folded_clos(
     if world is None:
         world = World(seed=seed)
     topo = ClosTopology(world, params)
-    alloc = _AddressAllocator()
+    alloc = AddressAllocator()
 
     def zone_tag(z: int) -> str:
         return f"Z{z + 1}-" if params.zones > 1 else ""
@@ -249,9 +285,7 @@ def build_folded_clos(
                 world.add_node(name, tier=TIER_TOR)
                 pod_tors.append(name)
                 topo.tor_vid_seed[name] = vid_seed
-                topo.rack_subnet[name] = Ipv4Network.parse(
-                    f"192.168.{vid_seed % 256}.0/24"
-                ) if vid_seed < 256 else _wide_rack_subnet(vid_seed)
+                topo.rack_subnet[name] = rack_subnet_for(vid_seed)
                 vid_seed += 1
             for a in range(params.aggs_per_pod):
                 name = f"{zone_tag(z)}S-{p + 1}-{a + 1}"
@@ -291,12 +325,8 @@ def build_folded_clos(
         The upper node's (downstream) interface is created first in its
         own ordering because uppers are wired pod-by-pod below.
         """
-        a, b = alloc.next_pair()
-        low_if = world.node(lower).add_interface()
-        up_if = world.node(upper).add_interface()
-        world.cable(low_if, up_if, params.bandwidth_bps, params.propagation_us)
-        low_if.assign_address(a, 31)
-        up_if.assign_address(b, 31)
+        cable_fabric_link(world, alloc, lower, upper,
+                          params.bandwidth_bps, params.propagation_us)
 
     for z in range(params.zones):
         # agg downstream ports to ToRs (created first on aggs),
@@ -325,45 +355,7 @@ def build_folded_clos(
                         cable(top_name, super_name)
 
     # --- rack ports and servers (highest-numbered ToR ports) -----------
-    # Each server hangs off its own ToR port; the ToR-side interface of
-    # server s carries gateway address .254-s in the shared rack subnet
-    # (a routed-rack design, host /32s beyond the first server).  The
-    # first rack-facing port is the one named in the paper's
-    # leavesNetworkPortDict — the interface MR-MTP reads its VID from.
-    for tor_name in topo.all_tors():
-        tor = world.node(tor_name)
-        subnet = topo.rack_subnet[tor_name]
-        subnet_size = 1 << (32 - subnet.prefix_len)
-        hosts = []
-        if params.servers_per_rack == 0:
-            # keep an addressed (uncabled) rack port so VID derivation
-            # still works on fabrics built without servers
-            rack_if = tor.add_interface()
-            rack_if.assign_address(subnet.host(subnet_size - 2), subnet.prefix_len)
-            topo.rack_port[tor_name] = rack_if.name
-        for s in range(params.servers_per_rack):
-            host_name = f"H-{tor_name}-{s + 1}"
-            host = world.add_node(host_name, tier=TIER_SERVER)
-            host_if = host.add_interface()
-            tor_if = tor.add_interface()
-            world.cable(host_if, tor_if,
-                        params.bandwidth_bps, params.propagation_us)
-            host_if.assign_address(subnet.host(s + 1), subnet.prefix_len)
-            tor_if.assign_address(subnet.host(subnet_size - 2 - s),
-                                  subnet.prefix_len)
-            if s == 0:
-                topo.rack_port[tor_name] = tor_if.name
-            topo.server_gateway[host_name] = tor_if.address
-            hosts.append(host_name)
-        topo.servers[tor_name] = hosts
+    provision_racks(topo, params.servers_per_rack,
+                    params.bandwidth_bps, params.propagation_us)
 
     return topo
-
-
-def _wide_rack_subnet(vid_seed: int) -> Ipv4Network:
-    """Rack subnets beyond 192.168.255/24 roll into 192.<169+>.x/24 so very
-    large fabrics still get unique rack prefixes."""
-    major = 169 + (vid_seed // 256)
-    if major > 255:
-        raise ValueError("rack subnet pool exhausted")
-    return Ipv4Network.parse(f"192.{major}.{vid_seed % 256}.0/24")

@@ -1,0 +1,279 @@
+"""Recursively-defined DCell/FiConn-style DCN builder.
+
+A *cell* (the level-0 unit) is a complete bipartite of ToRs and proxy
+switches.  Level 1 composes cells into a complete graph: every unordered
+pair of cells is joined by exactly one **same-tier** proxy-to-proxy
+link, with the proxy on each side chosen by a deterministic round-robin
+over the cell's proxies (so cross-cell fan-out spreads evenly).  With
+``groups > 1`` the same rule recurses once more: groups form a complete
+graph, each unordered group pair joined through one proxy per side,
+round-robin over the group's proxies.
+
+This family deliberately breaks the assumptions MR-MTP's VID derivation
+rests on: there is no top tier (``all_tops()`` is empty), and the links
+that carry cross-cell traffic connect *equal* tiers — so an MTP-style
+"up/down" tree never covers them.  The harness's ``fabric_ports`` hook
+is overridden to define "up" for a proxy as "out of the cell", which is
+what keeps ``agg[j].uplink[k]`` symbolic targets meaningful here.  See
+EXPERIMENTS.md for what that does to the paper's claims.
+
+Tier mapping: ToRs are tier 1, proxies tier 2 (they fill the ``aggs``
+role in the protocol), nothing above.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.net.link import DEFAULT_BANDWIDTH_BPS, DEFAULT_PROPAGATION_US
+from repro.net.world import World
+from repro.topology.base import (
+    FIRST_TOR_VID,
+    TIER_AGG,
+    TIER_SERVER,
+    TIER_TOR,
+    AddressAllocator,
+    BaseTopology,
+    FailureCase,
+    TopologyError,
+    cable_fabric_link,
+    provision_racks,
+    rack_subnet_for,
+)
+
+__all__ = ["DcellTopology", "build_dcell", "DCELL_DEFAULT_PARAMS"]
+
+DCELL_DEFAULT_PARAMS = {
+    "tors_per_cell": 2,
+    "proxies_per_cell": 2,
+    "cells": 3,             # cells per group, complete graph at level 1
+    "groups": 1,            # >1 recurses: complete graph of groups
+    "servers_per_rack": 1,
+    "bandwidth_bps": DEFAULT_BANDWIDTH_BPS,
+    "propagation_us": DEFAULT_PROPAGATION_US,
+}
+
+
+class DcellTopology(BaseTopology):
+    """A built recursive-DCN fabric."""
+
+    topology_name = "dcell"
+
+    def __init__(self, world: World, params) -> None:
+        super().__init__(world, params)
+        #: every same-tier cross link, as ((node, iface), (node, iface)),
+        #: in creation order — level-1 links first, then level-2
+        self.cross_links: list[tuple[tuple[str, str], tuple[str, str]]] = []
+
+    # ------------------------------------------------------------------
+    def fabric_ports(self, node_name: str, up: bool) -> list[str]:
+        """"Up" for a proxy means *out of the cell* — its same-tier
+        cross links — since there is no higher tier to compare against.
+        ToRs and servers keep the tier-comparison meaning."""
+        node = self.node(node_name)
+        if node.tier != TIER_AGG:
+            return super().fabric_ports(node_name, up)
+        ports = []
+        for iface in node.interfaces.values():
+            peer = iface.peer()
+            if peer is None or peer.node.tier == TIER_SERVER:
+                continue
+            if (peer.node.tier == node.tier) == up:
+                ports.append(iface.name)
+        return ports
+
+    # ------------------------------------------------------------------
+    def failure_cases(self) -> dict[str, FailureCase]:
+        """TC1/TC2 mirror the paper's ToR-uplink cases inside the first
+        cell; TC3/TC4 move the failure onto the first *cross-cell* link,
+        the role the agg-top link plays in Clos."""
+        tor = self.tors[0][0][0]
+        proxy = self.aggs[0][0][0]
+        (near_node, near_if), (far_node, far_if) = self.cross_links[0]
+        return {
+            "TC1": FailureCase("TC1", tor, self._iface_between(tor, proxy),
+                               proxy, "ToR uplink fails at ToR side"),
+            "TC2": FailureCase("TC2", proxy,
+                               self._iface_between(proxy, tor), tor,
+                               "ToR-proxy link fails at proxy side"),
+            "TC3": FailureCase("TC3", near_node, near_if, far_node,
+                               "cross-cell link fails at near side"),
+            "TC4": FailureCase("TC4", far_node, far_if, near_node,
+                               "cross-cell link fails at far side"),
+        }
+
+    def describe(self) -> str:
+        p = dict(self.params)
+        return (
+            f"recursive DCN: {p['groups']} group(s) x {p['cells']} cell(s), "
+            f"{p['tors_per_cell']} ToR(s) + {p['proxies_per_cell']} "
+            f"proxy(ies) per cell, {len(self.cross_links)} same-tier "
+            f"cross link(s), no top tier\n"
+            f"routers: {len(self.routers())}, "
+            f"servers: {len(self.all_servers())}, "
+            f"links: {len(self.world.links)}"
+        )
+
+    # ------------------------------------------------------------------
+    def _neighbors_by_tier(self, name: str) -> dict[int, set[str]]:
+        result: dict[int, set[str]] = {}
+        for iface in self.node(name).interfaces.values():
+            peer = iface.peer()
+            if peer is None:
+                continue
+            result.setdefault(peer.node.tier, set()).add(peer.node.name)
+        return result
+
+    def validate_structure(self) -> None:
+        p = dict(self.params)
+        expected = (p["groups"] * p["cells"]
+                    * (p["tors_per_cell"] + p["proxies_per_cell"]))
+        if len(self.routers()) != expected:
+            raise TopologyError(
+                f"expected {expected} routers, built {len(self.routers())}")
+        if self.all_tops() or self.all_supers():
+            raise TopologyError("recursive DCN must have no top tier")
+
+        # level 0: complete ToR-proxy bipartite inside every cell
+        for g in range(p["groups"]):
+            for c in range(p["cells"]):
+                cell_proxies = set(self.aggs[g][c])
+                for tor in self.tors[g][c]:
+                    nbrs = self._neighbors_by_tier(tor)
+                    if nbrs.get(TIER_AGG, set()) != cell_proxies:
+                        raise TopologyError(
+                            f"{tor} must reach every proxy in its cell")
+                    if len(nbrs.get(TIER_SERVER, set())) \
+                            != p["servers_per_rack"]:
+                        raise TopologyError(f"{tor} server count wrong")
+                cell_tors = set(self.tors[g][c])
+                for proxy in self.aggs[g][c]:
+                    nbrs = self._neighbors_by_tier(proxy)
+                    if nbrs.get(TIER_TOR, set()) != cell_tors:
+                        raise TopologyError(
+                            f"{proxy} must reach every ToR in its cell")
+
+        # level 1: exactly one cross link per unordered cell pair,
+        # endpoints in the right cells, same tier on both sides
+        def owner_cell(node_name: str) -> tuple[int, int]:
+            for g in range(p["groups"]):
+                for c in range(p["cells"]):
+                    if node_name in self.aggs[g][c]:
+                        return (g, c)
+            raise TopologyError(f"{node_name} is not a registered proxy")
+
+        pair_counts: dict[tuple, int] = {}
+        for (a_node, _), (b_node, _) in self.cross_links:
+            ga, ca = owner_cell(a_node)
+            gb, cb = owner_cell(b_node)
+            if (ga, ca) == (gb, cb):
+                raise TopologyError(
+                    f"cross link {a_node}--{b_node} stays inside one cell")
+            key = tuple(sorted([(ga, ca), (gb, cb)]))
+            pair_counts[key] = pair_counts.get(key, 0) + 1
+
+        for g in range(p["groups"]):
+            for ci in range(p["cells"]):
+                for cj in range(ci + 1, p["cells"]):
+                    key = ((g, ci), (g, cj))
+                    if pair_counts.get(key, 0) != 1:
+                        raise TopologyError(
+                            f"cells {ci} and {cj} of group {g} need exactly "
+                            f"one cross link, have {pair_counts.get(key, 0)}")
+
+        # level 2: one link per unordered group pair
+        for gi in range(p["groups"]):
+            for gj in range(gi + 1, p["groups"]):
+                n = sum(count for (a, b), count in pair_counts.items()
+                        if a[0] == gi and b[0] == gj)
+                if n != 1:
+                    raise TopologyError(
+                        f"groups {gi} and {gj} need exactly one cross "
+                        f"link, have {n}")
+
+
+def build_dcell(world: Optional[World] = None, seed: int = 0,
+                **params) -> DcellTopology:
+    """Construct the recursive DCN: cells, level-1 mesh, level-2 mesh."""
+    merged = {**DCELL_DEFAULT_PARAMS, **params}
+    for name in ("tors_per_cell", "proxies_per_cell", "cells", "groups"):
+        if merged[name] < 1:
+            raise ValueError(f"{name} must be >= 1")
+    if merged["servers_per_rack"] < 0:
+        raise ValueError("servers_per_rack must be >= 0")
+    if world is None:
+        world = World(seed=seed)
+    topo = DcellTopology(world, tuple(sorted(merged.items())))
+    alloc = AddressAllocator()
+
+    def group_tag(g: int) -> str:
+        return f"G{g + 1}-" if merged["groups"] > 1 else ""
+
+    # --- create routers ------------------------------------------------
+    vid_seed = FIRST_TOR_VID
+    for g in range(merged["groups"]):
+        group_tors: list[list[str]] = []
+        group_proxies: list[list[str]] = []
+        for c in range(merged["cells"]):
+            cell_tors, cell_proxies = [], []
+            for t in range(merged["tors_per_cell"]):
+                name = f"{group_tag(g)}D-{c + 1}-{t + 1}"
+                world.add_node(name, tier=TIER_TOR)
+                cell_tors.append(name)
+                topo.tor_vid_seed[name] = vid_seed
+                topo.rack_subnet[name] = rack_subnet_for(vid_seed)
+                vid_seed += 1
+            for j in range(merged["proxies_per_cell"]):
+                name = f"{group_tag(g)}DP-{c + 1}-{j + 1}"
+                world.add_node(name, tier=TIER_AGG)
+                cell_proxies.append(name)
+            group_tors.append(cell_tors)
+            group_proxies.append(cell_proxies)
+        topo.tors.append(group_tors)
+        topo.aggs.append(group_proxies)
+
+    # --- level 0: complete bipartite inside each cell ------------------
+    for g in range(merged["groups"]):
+        for c in range(merged["cells"]):
+            for t_name in topo.tors[g][c]:
+                for p_name in topo.aggs[g][c]:
+                    cable_fabric_link(world, alloc, t_name, p_name,
+                                      merged["bandwidth_bps"],
+                                      merged["propagation_us"])
+
+    # --- cross links: same-tier, round-robin proxy selection -----------
+    def cross(lower: str, upper: str) -> None:
+        cable_fabric_link(world, alloc, lower, upper,
+                          merged["bandwidth_bps"], merged["propagation_us"])
+        a_if = topo._iface_between(lower, upper)
+        b_if = topo._iface_between(upper, lower)
+        topo.cross_links.append(((lower, a_if), (upper, b_if)))
+
+    # level 1: complete graph over the cells of each group
+    for g in range(merged["groups"]):
+        rr = [0] * merged["cells"]  # per-cell round-robin cursor
+        for ci in range(merged["cells"]):
+            for cj in range(ci + 1, merged["cells"]):
+                pi = topo.aggs[g][ci][rr[ci] % merged["proxies_per_cell"]]
+                pj = topo.aggs[g][cj][rr[cj] % merged["proxies_per_cell"]]
+                rr[ci] += 1
+                rr[cj] += 1
+                cross(pi, pj)
+
+    # level 2: the same rule, one recursion up — complete graph over
+    # groups, round-robin over each group's flattened proxy list
+    if merged["groups"] > 1:
+        flat = [[p for cell in topo.aggs[g] for p in cell]
+                for g in range(merged["groups"])]
+        rr2 = [0] * merged["groups"]
+        for gi in range(merged["groups"]):
+            for gj in range(gi + 1, merged["groups"]):
+                pi = flat[gi][rr2[gi] % len(flat[gi])]
+                pj = flat[gj][rr2[gj] % len(flat[gj])]
+                rr2[gi] += 1
+                rr2[gj] += 1
+                cross(pi, pj)
+
+    provision_racks(topo, merged["servers_per_rack"],
+                    merged["bandwidth_bps"], merged["propagation_us"])
+    return topo

@@ -1,0 +1,111 @@
+"""Global topology registry: name -> :class:`TopologyDefinition`.
+
+Adding a fabric family means registering a definition — no harness,
+sweep, scenario, cache or CLI module changes.  Resolution accepts every
+spelling callers use (a registry name, a prepared :class:`TopologySpec`,
+a definition, or a legacy params object exposing ``topology_name`` such
+as ``ClosParams``) and normalizes to a :class:`TopologySpec`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Optional
+
+from repro.net.world import World
+from repro.topology.base import Topology, TopologyDefinition, TopologySpec
+
+_REGISTRY: dict[str, TopologyDefinition] = {}
+
+#: the fabric the paper evaluates — plugin zero, and what a bare
+#: ``build_topology()`` call (no selection at all) builds
+DEFAULT_TOPOLOGY = "clos"
+
+
+class UnknownTopologyError(KeyError):
+    """Lookup of a name nobody registered."""
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message)
+        self.message = message
+
+    def __str__(self) -> str:
+        return self.message
+
+
+def register_topology(definition: TopologyDefinition, *,
+                      replace: bool = False) -> TopologyDefinition:
+    """Register ``definition`` under its name; returns it so modules can
+    register at import time and keep the handle.
+
+    Duplicate names are rejected (two plugins silently shadowing each
+    other would corrupt cache keys); pass ``replace=True`` to override
+    deliberately (tests, interactive experimentation).
+    """
+    name = definition.name
+    if not name or name.strip() != name:
+        raise ValueError(f"invalid topology name {name!r}")
+    if not replace and name in _REGISTRY:
+        raise ValueError(
+            f"topology {name!r} is already registered; "
+            f"pass replace=True to override")
+    _REGISTRY[name] = definition
+    return definition
+
+
+def unregister_topology(name: str) -> None:
+    """Remove a registration (primarily for test teardown)."""
+    if name not in _REGISTRY:
+        raise UnknownTopologyError(
+            f"unknown topology {name!r}; available: "
+            f"{', '.join(_REGISTRY) or '(none)'}")
+    del _REGISTRY[name]
+
+
+def get_topology(name: str) -> TopologyDefinition:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise UnknownTopologyError(
+            f"unknown topology {name!r}; available: "
+            f"{', '.join(available_topologies()) or '(none)'}") from None
+
+
+def available_topologies() -> tuple[str, ...]:
+    """Registered names, in registration order (builtins first)."""
+    return tuple(_REGISTRY)
+
+
+def resolve_topology_spec(topology: Any = None) -> TopologySpec:
+    """Normalize any accepted topology spelling to a
+    :class:`TopologySpec`.
+
+    ``None`` selects the default fabric with default parameters, so the
+    legacy ``build_folded_clos()``-with-no-arguments call shape keeps a
+    direct registry equivalent.
+    """
+    if topology is None:
+        return get_topology(DEFAULT_TOPOLOGY).spec()
+    if isinstance(topology, TopologySpec):
+        return topology
+    if isinstance(topology, TopologyDefinition):
+        return topology.spec()
+    if isinstance(topology, str):
+        return get_topology(topology).spec()
+    name = getattr(topology, "topology_name", None)
+    if isinstance(name, str) and dataclasses.is_dataclass(topology) \
+            and not isinstance(topology, type):
+        params = dataclasses.asdict(topology)
+        return get_topology(name).spec(**params)
+    raise TypeError(
+        f"cannot resolve a topology from {topology!r}; expected a "
+        f"registry name, TopologySpec, TopologyDefinition, or a params "
+        f"dataclass with a topology_name attribute")
+
+
+def build_topology(topology: Any = None,
+                   world: Optional[World] = None, seed: int = 0) -> Topology:
+    """Resolve ``topology`` and build it — the one entry point every
+    harness layer constructs fabrics through."""
+    spec = resolve_topology_spec(topology)
+    return get_topology(spec.name).build_spec(spec, world=world, seed=seed)

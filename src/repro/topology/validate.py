@@ -1,111 +1,29 @@
 """Topology validation.
 
-The simulator-side analogue of the paper's "scripts to verify the topology
-and router configuration": structural checks that the built fabric really
-is the intended folded-Clos before any protocol runs on it.
+The simulator-side analogue of the paper's "scripts to verify the
+topology and router configuration": structural checks that the built
+fabric is sound before any protocol runs on it.
+
+Family-specific wiring invariants (the folded-Clos plane/pod checks,
+VL2's complete agg-intermediate bipartite, DCell's cross-cell matching)
+live on each plugin's :meth:`Topology.validate_structure`; this module
+runs those plus the invariants every registered fabric must satisfy —
+addressed /31 fabric links, unique rack subnets, a recorded rack port
+per ToR, and internally-consistent failure cases.
 """
 
 from __future__ import annotations
 
-from repro.topology.clos import (
-    ClosTopology,
-    TIER_AGG,
-    TIER_SERVER,
-    TIER_SUPER,
-    TIER_TOP,
-    TIER_TOR,
-)
+from repro.topology.base import TIER_SERVER, Topology, TopologyError
+
+__all__ = ["TopologyError", "validate_topology"]
 
 
-class TopologyError(AssertionError):
-    """A structural invariant of the folded-Clos is violated."""
-
-
-def _neighbors_by_tier(topo: ClosTopology, name: str) -> dict[int, set[str]]:
-    node = topo.node(name)
-    result: dict[int, set[str]] = {}
-    for iface in node.interfaces.values():
-        peer = iface.peer()
-        if peer is None:
-            continue
-        result.setdefault(peer.node.tier, set()).add(peer.node.name)
-    return result
-
-
-def validate_topology(topo: ClosTopology) -> None:
+def validate_topology(topo: Topology) -> None:
     """Raise :class:`TopologyError` on any structural violation."""
-    p = topo.params
 
-    # counts
-    expected_routers = p.num_routers
-    if len(topo.routers()) != expected_routers:
-        raise TopologyError(
-            f"expected {expected_routers} routers, built {len(topo.routers())}"
-        )
-
-    # ToRs: uplinks to every agg in their pod, plus rack ports
-    for z in range(p.zones):
-        for pod in range(p.num_pods):
-            pod_aggs = set(topo.aggs[z][pod])
-            for tor in topo.tors[z][pod]:
-                up = _neighbors_by_tier(topo, tor).get(TIER_AGG, set())
-                if up != pod_aggs:
-                    raise TopologyError(
-                        f"{tor} uplinks {sorted(up)} != pod aggs {sorted(pod_aggs)}"
-                    )
-                servers = _neighbors_by_tier(topo, tor).get(TIER_SERVER, set())
-                if len(servers) != p.servers_per_rack:
-                    raise TopologyError(
-                        f"{tor} has {len(servers)} servers, expected "
-                        f"{p.servers_per_rack}"
-                    )
-
-    # aggs: down to every ToR in pod, up to every top in their plane
-    for z in range(p.zones):
-        for pod in range(p.num_pods):
-            pod_tors = set(topo.tors[z][pod])
-            for a_idx, agg in enumerate(topo.aggs[z][pod]):
-                nbrs = _neighbors_by_tier(topo, agg)
-                if nbrs.get(TIER_TOR, set()) != pod_tors:
-                    raise TopologyError(f"{agg} downlinks wrong")
-                plane_tops = set(topo.tops[z][a_idx])
-                if nbrs.get(TIER_TOP, set()) != plane_tops:
-                    raise TopologyError(
-                        f"{agg} uplinks {nbrs.get(TIER_TOP)} != plane "
-                        f"{sorted(plane_tops)}"
-                    )
-
-    # tops: one agg (the plane's) per pod in their zone
-    for z in range(p.zones):
-        for plane in range(p.num_planes):
-            plane_aggs = {topo.aggs[z][pod][plane] for pod in range(p.num_pods)}
-            for top in topo.tops[z][plane]:
-                nbrs = _neighbors_by_tier(topo, top)
-                if nbrs.get(TIER_AGG, set()) != plane_aggs:
-                    raise TopologyError(
-                        f"{top} downlinks {nbrs.get(TIER_AGG)} != {plane_aggs}"
-                    )
-                supers = nbrs.get(TIER_SUPER, set())
-                expected_supers = p.supers_per_group if p.zones > 1 else 0
-                if len(supers) != expected_supers:
-                    raise TopologyError(
-                        f"{top} has {len(supers)} super uplinks, expected "
-                        f"{expected_supers}"
-                    )
-
-    # super-spines: their group's top position in every zone
-    group_idx = 0
-    for plane in range(p.num_planes):
-        for k in range(p.tops_per_plane):
-            if p.zones <= 1:
-                break
-            group = topo.supers[group_idx]
-            group_idx += 1
-            expected_tops = {topo.tops[z][plane][k] for z in range(p.zones)}
-            for sup in group:
-                nbrs = _neighbors_by_tier(topo, sup)
-                if nbrs.get(TIER_TOP, set()) != expected_tops:
-                    raise TopologyError(f"{sup} downlinks wrong")
+    # family-specific wiring invariants first
+    topo.validate_structure()
 
     # addressing: all fabric interfaces addressed, /31 pairs match
     for link in topo.world.links:
@@ -129,3 +47,19 @@ def validate_topology(topo: ClosTopology) -> None:
     for tor in topo.all_tors():
         if tor not in topo.rack_port:
             raise TopologyError(f"{tor} missing rack port")
+
+    # failure cases reference real interfaces on real links
+    for case in topo.failure_cases().values():
+        node = topo.node(case.node)
+        iface = node.interfaces.get(case.interface)
+        if iface is None:
+            raise TopologyError(
+                f"failure case {case.name}: {case.node} has no "
+                f"interface {case.interface}"
+            )
+        peer = iface.peer()
+        if peer is None or peer.node.name != case.peer_node:
+            raise TopologyError(
+                f"failure case {case.name}: {case.node}.{case.interface} "
+                f"does not face {case.peer_node}"
+            )

@@ -1,0 +1,209 @@
+"""VL2 fabric builder (Greenberg et al., SIGCOMM 2009).
+
+VL2 is Clos-*like* but not a folded-Clos: aggregation switches come in
+*pairs* that dual-home a set of ToRs, and — the key wiring difference —
+every aggregation switch connects to **every** intermediate switch.
+Where the paper's folded-Clos restricts aggregation *a* to plane *a*'s
+tops, VL2's complete agg-intermediate bipartite is the substrate for
+valiant load balancing: any intermediate can bounce any flow, so traffic
+is spread across the whole top tier instead of one plane.
+
+Addressing is also distinct in spirit: VL2 separates location addresses
+(fabric /31s here) from application addresses (the rack subnets); we
+keep the same rack-subnet machinery so MR-MTP's VID derivation has a
+first-rack-port to read, which is exactly the assumption this plugin
+exists to stress — see EXPERIMENTS.md.
+
+Tier mapping onto the harness protocol: ToRs are tier 1, aggregation
+pairs tier 2, intermediates tier 3 (a single "plane" holding all of
+them). There is no super-spine tier.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.net.link import DEFAULT_BANDWIDTH_BPS, DEFAULT_PROPAGATION_US
+from repro.net.world import World
+from repro.topology.base import (
+    FIRST_TOR_VID,
+    TIER_AGG,
+    TIER_SERVER,
+    TIER_TOP,
+    TIER_TOR,
+    AddressAllocator,
+    BaseTopology,
+    FailureCase,
+    TopologyError,
+    cable_fabric_link,
+    provision_racks,
+    rack_subnet_for,
+)
+
+__all__ = ["Vl2Topology", "build_vl2", "VL2_DEFAULT_PARAMS"]
+
+#: every accepted build parameter with its default — the registry
+#: definition, the CLI and ``repro topology show`` all read this
+VL2_DEFAULT_PARAMS = {
+    "num_pairs": 2,          # aggregation pairs
+    "tors_per_pair": 2,      # ToRs dual-homed to each pair
+    "aggs_per_pair": 2,      # width of one aggregation pair
+    "ints": 2,               # intermediate switches (all shared)
+    "servers_per_rack": 1,
+    "bandwidth_bps": DEFAULT_BANDWIDTH_BPS,
+    "propagation_us": DEFAULT_PROPAGATION_US,
+}
+
+
+class Vl2Topology(BaseTopology):
+    """A built VL2 fabric."""
+
+    topology_name = "vl2"
+
+    def failure_cases(self) -> dict[str, FailureCase]:
+        """TC1..TC4 analogues on the first pair's devices.
+
+        TC3/TC4 sit on the agg -> first-intermediate link; in VL2 the
+        agg has an alternative path through every other intermediate,
+        so re-convergence exercises the full valiant spread.
+        """
+        tor = self.tors[0][0][0]
+        agg = self.aggs[0][0][0]
+        mid = self.tops[0][0][0]
+        return {
+            "TC1": FailureCase("TC1", tor, self._iface_between(tor, agg), agg,
+                               "ToR uplink fails at ToR side"),
+            "TC2": FailureCase("TC2", agg, self._iface_between(agg, tor), tor,
+                               "ToR-agg link fails at agg side"),
+            "TC3": FailureCase("TC3", agg, self._iface_between(agg, mid), mid,
+                               "agg-intermediate link fails at agg side"),
+            "TC4": FailureCase("TC4", mid, self._iface_between(mid, agg), agg,
+                               "agg-intermediate link fails at int side"),
+        }
+
+    def describe(self) -> str:
+        p = dict(self.params)
+        return (
+            f"VL2: {p['num_pairs']} aggregation pair(s) x "
+            f"{p['aggs_per_pair']} wide, {p['tors_per_pair']} ToR(s) per "
+            f"pair, {p['ints']} shared intermediate(s) "
+            f"(complete agg-intermediate bipartite)\n"
+            f"routers: {len(self.routers())}, "
+            f"servers: {len(self.all_servers())}, "
+            f"links: {len(self.world.links)}"
+        )
+
+    def _neighbors_by_tier(self, name: str) -> dict[int, set[str]]:
+        result: dict[int, set[str]] = {}
+        for iface in self.node(name).interfaces.values():
+            peer = iface.peer()
+            if peer is None:
+                continue
+            result.setdefault(peer.node.tier, set()).add(peer.node.name)
+        return result
+
+    def validate_structure(self) -> None:
+        p = dict(self.params)
+        expected = (p["num_pairs"] * (p["tors_per_pair"] + p["aggs_per_pair"])
+                    + p["ints"])
+        if len(self.routers()) != expected:
+            raise TopologyError(
+                f"expected {expected} routers, built {len(self.routers())}")
+
+        all_ints = set(self.all_tops())
+        all_aggs = set(self.all_aggs())
+
+        # ToRs: dual-homed to exactly their pair's aggs, plus servers
+        for pair in range(p["num_pairs"]):
+            pair_aggs = set(self.aggs[0][pair])
+            for tor in self.tors[0][pair]:
+                nbrs = self._neighbors_by_tier(tor)
+                if nbrs.get(TIER_AGG, set()) != pair_aggs:
+                    raise TopologyError(
+                        f"{tor} uplinks {sorted(nbrs.get(TIER_AGG, set()))} "
+                        f"!= pair aggs {sorted(pair_aggs)}")
+                if len(nbrs.get(TIER_SERVER, set())) != p["servers_per_rack"]:
+                    raise TopologyError(f"{tor} server count wrong")
+
+        # aggs: down to their pair's ToRs, up to EVERY intermediate —
+        # the complete bipartite that distinguishes VL2 from folded-Clos
+        for pair in range(p["num_pairs"]):
+            pair_tors = set(self.tors[0][pair])
+            for agg in self.aggs[0][pair]:
+                nbrs = self._neighbors_by_tier(agg)
+                if nbrs.get(TIER_TOR, set()) != pair_tors:
+                    raise TopologyError(f"{agg} downlinks wrong")
+                if nbrs.get(TIER_TOP, set()) != all_ints:
+                    raise TopologyError(
+                        f"{agg} must reach every intermediate "
+                        f"(valiant spread); got "
+                        f"{sorted(nbrs.get(TIER_TOP, set()))}")
+
+        # intermediates: down to every aggregation switch
+        for mid in self.all_tops():
+            nbrs = self._neighbors_by_tier(mid)
+            if nbrs.get(TIER_AGG, set()) != all_aggs:
+                raise TopologyError(f"{mid} must reach every agg")
+
+
+def build_vl2(world: Optional[World] = None, seed: int = 0,
+              **params) -> Vl2Topology:
+    """Construct a VL2 fabric: pairs, intermediates, racks."""
+    merged = {**VL2_DEFAULT_PARAMS, **params}
+    for name in ("num_pairs", "tors_per_pair", "aggs_per_pair", "ints"):
+        if merged[name] < 1:
+            raise ValueError(f"{name} must be >= 1")
+    if merged["servers_per_rack"] < 0:
+        raise ValueError("servers_per_rack must be >= 0")
+    if world is None:
+        world = World(seed=seed)
+    topo = Vl2Topology(world, tuple(sorted(merged.items())))
+    alloc = AddressAllocator()
+
+    # --- create routers ------------------------------------------------
+    vid_seed = FIRST_TOR_VID
+    zone_tors: list[list[str]] = []
+    zone_aggs: list[list[str]] = []
+    for pair in range(merged["num_pairs"]):
+        pair_tors, pair_aggs = [], []
+        for t in range(merged["tors_per_pair"]):
+            name = f"VL-{pair + 1}-{t + 1}"
+            world.add_node(name, tier=TIER_TOR)
+            pair_tors.append(name)
+            topo.tor_vid_seed[name] = vid_seed
+            topo.rack_subnet[name] = rack_subnet_for(vid_seed)
+            vid_seed += 1
+        for a in range(merged["aggs_per_pair"]):
+            name = f"VA-{pair + 1}-{a + 1}"
+            world.add_node(name, tier=TIER_AGG)
+            pair_aggs.append(name)
+        zone_tors.append(pair_tors)
+        zone_aggs.append(pair_aggs)
+    topo.tors.append(zone_tors)
+    topo.aggs.append(zone_aggs)
+
+    ints = []
+    for n in range(merged["ints"]):
+        name = f"VI-{n + 1}"
+        world.add_node(name, tier=TIER_TOP)
+        ints.append(name)
+    topo.tops.append([ints])  # one plane holding every intermediate
+
+    # --- cabling (downstream ports before upstream, as MR-MTP needs) ---
+    for pair in range(merged["num_pairs"]):
+        for t_name in zone_tors[pair]:
+            for a_name in zone_aggs[pair]:
+                cable_fabric_link(world, alloc, t_name, a_name,
+                                  merged["bandwidth_bps"],
+                                  merged["propagation_us"])
+    # every agg up to every intermediate — no plane restriction
+    for pair in range(merged["num_pairs"]):
+        for a_name in zone_aggs[pair]:
+            for mid in ints:
+                cable_fabric_link(world, alloc, a_name, mid,
+                                  merged["bandwidth_bps"],
+                                  merged["propagation_us"])
+
+    provision_racks(topo, merged["servers_per_rack"],
+                    merged["bandwidth_bps"], merged["propagation_us"])
+    return topo

@@ -11,7 +11,7 @@ from repro.topology.clos import (
     four_pod_params,
     two_pod_params,
 )
-from repro.topology.validate import TopologyError, validate_topology
+from repro.topology.validate import validate_topology
 
 
 def test_two_pod_matches_paper_counts():

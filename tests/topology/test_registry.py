@@ -1,0 +1,152 @@
+"""Topology registry: registration, duck-typed resolution, spec keys."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.harness.cache import task_key
+from repro.topology import (
+    ClosParams,
+    TopologyDefinition,
+    UnknownTopologyError,
+    available_topologies,
+    build_folded_clos,
+    build_topology,
+    canonical_params,
+    get_topology,
+    register_topology,
+    resolve_topology_spec,
+    two_pod_params,
+    unregister_topology,
+    validate_topology,
+)
+from repro.topology.builtin import CLOS_DEFAULT_PARAMS
+
+
+def test_builtins_registered_in_order():
+    assert available_topologies()[:3] == ("clos", "vl2", "dcell")
+
+
+def test_get_unknown_topology_raises():
+    with pytest.raises(UnknownTopologyError, match="no-such-fabric"):
+        get_topology("no-such-fabric")
+
+
+def test_duplicate_registration_rejected_unless_replace():
+    clos = get_topology("clos")
+    with pytest.raises(ValueError, match="already registered"):
+        register_topology(clos)
+    register_topology(clos, replace=True)  # deliberate override is fine
+    assert get_topology("clos") is clos
+
+
+def test_register_and_unregister_roundtrip():
+    definition = TopologyDefinition(
+        name="test-fab", display="test fabric",
+        build=lambda world=None, **params: build_folded_clos(world=world),
+        default_params={"width": 2})
+    register_topology(definition)
+    try:
+        assert "test-fab" in available_topologies()
+        assert get_topology("test-fab") is definition
+    finally:
+        unregister_topology("test-fab")
+    assert "test-fab" not in available_topologies()
+    with pytest.raises(UnknownTopologyError):
+        unregister_topology("test-fab")
+
+
+# ----------------------------------------------------------------------
+# resolution: every accepted spelling normalizes to the same spec
+# ----------------------------------------------------------------------
+def test_resolve_none_is_default_clos():
+    spec = resolve_topology_spec(None)
+    assert spec == get_topology("clos").spec()
+
+
+def test_resolve_accepts_every_spelling():
+    definition = get_topology("vl2")
+    spec = definition.spec()
+    assert resolve_topology_spec("vl2") == spec
+    assert resolve_topology_spec(spec) is spec
+    assert resolve_topology_spec(definition) == spec
+
+
+def test_resolve_legacy_params_dataclass():
+    """A ClosParams duck-types via its topology_name property — legacy
+    call sites and registry-first callers build identical specs."""
+    params = two_pod_params()
+    spec = resolve_topology_spec(params)
+    assert spec.name == "clos"
+    assert spec.params_dict() == dataclasses.asdict(params)
+    assert spec == get_topology("clos").spec(**dataclasses.asdict(params))
+
+
+def test_resolve_rejects_garbage():
+    with pytest.raises(TypeError, match="cannot resolve a topology"):
+        resolve_topology_spec(42)
+
+
+def test_spec_rejects_unknown_params_up_front():
+    with pytest.raises(ValueError, match="unknown clos parameter"):
+        get_topology("clos").spec(num_podz=4)
+
+
+def test_canonical_params_order_insensitive():
+    assert canonical_params({"b": 2, "a": 1}) == \
+        canonical_params([("a", 1), ("b", 2)])
+
+
+# ----------------------------------------------------------------------
+# builds: the registry path is the direct path
+# ----------------------------------------------------------------------
+def test_clos_defaults_in_lockstep_with_dataclass():
+    assert CLOS_DEFAULT_PARAMS == {
+        f.name: f.default
+        for f in dataclasses.fields(ClosParams)
+    }
+
+
+def test_registry_build_identical_to_direct_build():
+    direct = build_folded_clos(two_pod_params(), seed=0)
+    via_registry = build_topology(two_pod_params(), seed=0)
+    assert [n for n in direct.world.nodes] == \
+        [n for n in via_registry.world.nodes]
+    assert direct.routers() == via_registry.routers()
+    assert direct.rack_subnet == via_registry.rack_subnet
+    assert len(direct.world.links) == len(via_registry.world.links)
+
+
+@pytest.mark.parametrize("name", ["clos", "vl2", "dcell"])
+def test_every_builtin_builds_and_validates(name):
+    topo = build_topology(name)
+    validate_topology(topo)
+    assert topo.topology_name == name
+    assert set(topo.failure_cases()) == {"TC1", "TC2", "TC3", "TC4"}
+    assert topo.all_tors() and topo.all_aggs()
+    assert topo.routers()
+
+
+# ----------------------------------------------------------------------
+# cache keys: the spec (name + canonical params) is the key component
+# ----------------------------------------------------------------------
+def test_topology_spec_enters_cache_key():
+    clos = resolve_topology_spec("clos")
+    vl2 = resolve_topology_spec("vl2")
+    assert task_key("t", params=clos) != task_key("t", params=vl2)
+    # same fabric spelled two ways -> same key
+    legacy = resolve_topology_spec(ClosParams())
+    assert task_key("t", params=clos) == task_key("t", params=legacy)
+    # a changed parameter changes the key
+    wide = get_topology("clos").spec(num_pods=4)
+    assert task_key("t", params=clos) != task_key("t", params=wide)
+
+
+def test_spec_is_picklable_and_hashable():
+    import pickle
+
+    spec = get_topology("dcell").spec(cells=4)
+    assert pickle.loads(pickle.dumps(spec)) == spec
+    assert hash(spec) == hash(get_topology("dcell").spec(cells=4))
