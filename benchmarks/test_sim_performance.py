@@ -16,6 +16,7 @@ from pathlib import Path
 import pytest
 
 import bench_engine
+import bench_workload
 
 from repro.sim.engine import WHEEL_BACKEND, Simulator
 from repro.sim.units import SECOND
@@ -139,3 +140,48 @@ def test_32pod_tc1_within_tier1_budget():
     wall = time.perf_counter() - t0
     assert result.convergence_us > 0
     assert wall < 30.0, f"32-PoD TC1 took {wall:.1f}s (budget 30s)"
+
+
+# ----------------------------------------------------------------------
+# BENCH_workload.json regression guards: the flow-level workload engine
+# must hold its recorded million-flow trajectory.
+# ----------------------------------------------------------------------
+WORKLOAD_BENCH_PATH = (Path(__file__).resolve().parent.parent
+                       / "BENCH_workload.json")
+
+
+@pytest.fixture(scope="module")
+def workload_bench_doc():
+    assert WORKLOAD_BENCH_PATH.exists(), (
+        "BENCH_workload.json missing — regenerate with "
+        "`PYTHONPATH=src python benchmarks/bench_workload.py`")
+    return json.loads(WORKLOAD_BENCH_PATH.read_text())
+
+
+def test_recorded_workload_meets_million_flow_budget(workload_bench_doc):
+    """The committed artifact must record the acceptance run: one
+    million permutation flows on the 8-PoD fabric, end to end, inside
+    the 60 s single-core budget, with byte conservation holding."""
+    head = workload_bench_doc["headline"]
+    assert head["flows"] == 1_000_000
+    assert head["within_budget"] is True
+    assert head["total_s"] < head["budget_s"] == 60.0
+    assert head["max_conservation_error"] < 1e-6
+    assert workload_bench_doc["fabric"]["pods"] == 8
+
+
+def test_live_workload_throughput_within_band(workload_bench_doc):
+    """Live 100k-flow throughput on the same fabric must stay within a
+    generous band of the recorded grid point (recorded ~220k flows/s;
+    requiring 10% catches an order-of-magnitude collapse, not host
+    drift)."""
+    recorded = next(row for row in workload_bench_doc["grid"]
+                    if row["flows"] == 100_000)
+    world, topo, deployment, _ = bench_workload.build_fabric()
+    best = min(bench_workload.bench_point(world, topo, deployment,
+                                          100_000)["total_s"]
+               for _ in range(2))
+    live = 100_000 / best
+    assert live >= 0.1 * recorded["flows_per_sec"], (
+        f"workload engine regressed: {live:,.0f} flows/s live vs "
+        f"{recorded['flows_per_sec']:,} recorded (need >= 10%)")

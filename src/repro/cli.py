@@ -21,6 +21,9 @@ simulator-era equivalent of the paper's FABRIC automation entry points:
     python -m repro scenario run tc1 drain --stack bgp-bfd --stack mtp
     python -m repro chaos    --jobs 4                 # false-positive suite
     python -m repro chaos    --stack mtp --rate 0 --rate 0.1
+    python -m repro load list                         # workload presets
+    python -m repro load --workload incast -W flows=50000 --jobs 4
+    python -m repro sweep    --stack mtp --workload permutation
     python -m repro pathtrace --stack mtp --scenario gray-uplink
 
 ``--stack`` accepts any name in the stack registry (see ``stacks``);
@@ -145,6 +148,18 @@ def _add_supervisor_args(parser: argparse.ArgumentParser) -> None:
                              "run only the rest (requires the cache)")
 
 
+def _add_workload_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workload", default=None, metavar="NAME|FILE.json",
+        help="workload preset name (see `load list`) or a JSON "
+             "WorkloadSpec file")
+    parser.add_argument(
+        "-W", "--workload-param", action="append", default=None,
+        metavar="KEY=VALUE", dest="workload_params",
+        help="override one workload field (e.g. -W flows=50000); "
+             "repeatable")
+
+
 def _cache_from(args):
     if args.no_cache:
         return None
@@ -231,6 +246,45 @@ def _params(args):
         overrides.update(definition.coerce_params(raw))
         return definition.spec(**overrides)
     except ValueError as exc:
+        raise _UsageError(str(exc)) from None
+
+
+def _workload_from(args):
+    """The selected workload as a resolved WorkloadSpec: ``--workload``
+    picks a library preset (or reads a ``.json`` spec file), and
+    repeatable ``-W KEY=VALUE`` items override its fields."""
+    import dataclasses
+    import json as _json
+    from pathlib import Path
+
+    from repro.workload import WorkloadError, WorkloadSpec, resolve_workload
+
+    name = getattr(args, "workload", None)
+    if name is None:
+        return None
+    try:
+        if name.endswith(".json"):
+            base = WorkloadSpec.from_payload(
+                _json.loads(Path(name).read_text()))
+        else:
+            base = resolve_workload(name)
+        overrides = {}
+        fields = {f.name: f for f in dataclasses.fields(WorkloadSpec)}
+        for item in getattr(args, "workload_params", None) or []:
+            key, sep, value = item.partition("=")
+            if not sep or key not in fields:
+                raise _UsageError(
+                    f"-W expects KEY=VALUE with a WorkloadSpec field, "
+                    f"got {item!r} (fields: {', '.join(fields)})")
+            kind = fields[key].type
+            if kind == "int":
+                overrides[key] = int(value)
+            elif kind == "float":
+                overrides[key] = float(value)
+            else:
+                overrides[key] = value
+        return dataclasses.replace(base, **overrides) if overrides else base
+    except (WorkloadError, OSError, ValueError) as exc:
         raise _UsageError(str(exc)) from None
 
 
@@ -380,7 +434,8 @@ def cmd_sweep(args) -> int:
     t0 = time.perf_counter()
     outcomes = single_failure_sweep_outcomes(
         _params(args), args.stack, seed=args.seed,
-        ambient_loss=args.ambient_loss, jobs=args.jobs,
+        ambient_loss=args.ambient_loss,
+        workload=_workload_from(args), jobs=args.jobs,
         cache=cache, report=None if sup is not None else report,
         policy=policy, supervisor=sup,
     )
@@ -544,7 +599,8 @@ def cmd_chaos(args) -> int:
     outcomes = run_chaos_suite(
         _params(args), stacks, rates=rates, seed=args.seed,
         window_ms=args.window_ms, traffic_pps=args.pps,
-        traffic_count=args.count, jobs=args.jobs, cache=cache,
+        traffic_count=args.count, workload=_workload_from(args),
+        jobs=args.jobs, cache=cache,
         report=None if sup is not None else report,
         policy=policy, supervisor=sup,
     )
@@ -569,6 +625,70 @@ def cmd_chaos(args) -> int:
         print(f"error: {r.stack} false-flagged {r.false_positives} times "
               f"on a CLEAN fabric (loss 0.0)", file=sys.stderr)
     return EXIT_FINDINGS if violations else EXIT_OK
+
+
+def cmd_load(args) -> int:
+    from repro.workload import canonical_workloads, run_workload_suite
+
+    if args.action == "list":
+        for name, spec in canonical_workloads().items():
+            print(f"{name:<12} {spec.matrix:<12} {spec.flows:>9} flows  "
+                  f"{spec.description}")
+        return 0
+    if args.action == "show":
+        wl = _workload_from(args)
+        specs = [wl] if wl is not None else \
+            list(canonical_workloads().values())
+        for spec in specs:
+            print(json.dumps(spec.to_payload(), indent=2, sort_keys=True))
+        return 0
+
+    wl = _workload_from(args)
+    workloads = ([wl] if wl is not None
+                 else list(canonical_workloads().values()))
+    stacks = args.stack or ["mtp", "bgp-bfd"]
+    policy, sup = _supervision_from(args)
+    cache = _cache_from(args)
+    if not _check_resume(args, cache):
+        return EXIT_USAGE
+    report = sup.fanout if sup is not None else FanoutReport()
+    t0 = time.perf_counter()
+    outcomes = run_workload_suite(
+        _params(args), workloads, stacks, seed=args.seed, jobs=args.jobs,
+        cache=cache, report=None if sup is not None else report,
+        policy=policy, supervisor=sup,
+    )
+    elapsed = time.perf_counter() - t0
+    bad_conservation = False
+    for outcome in outcomes:
+        if outcome is None:
+            continue
+        r = outcome.report
+        delivered_frac = (r.delivered_bytes / r.offered_bytes
+                          if r.offered_bytes else 1.0)
+        line = (f"{r.workload:<12} {r.matrix:<12} "
+                f"{r.flows:>9} flows  "
+                f"goodput {r.goodput_bps / 1e9:7.3f} Gbps  "
+                f"delivered {delivered_frac:6.1%}  "
+                f"fct p50 {r.fct_p50_us / 1000:8.2f} ms  "
+                f"p99 {r.fct_p99_us / 1000:9.2f} ms  "
+                f"blackholed {r.blackholed_flows}")
+        if args.digests:
+            line = f"{outcome.digest[:16]}  {line}"
+        print(line)
+        if r.max_conservation_error > 1e-6:
+            bad_conservation = True
+            print(f"error: {r.workload}: byte conservation violated "
+                  f"(error {r.max_conservation_error:.2e})",
+                  file=sys.stderr)
+    describe = sup.describe() if sup is not None else report.describe()
+    print(f"{len(outcomes)} loaded runs ({describe}), "
+          f"{elapsed:.2f} s wall clock")
+    infra = _campaign_epilogue(args, report,
+                               sup.records if sup is not None else [])
+    if infra != EXIT_OK:
+        return infra
+    return EXIT_FINDINGS if bad_conservation else EXIT_OK
 
 
 def cmd_pathtrace(args) -> int:
@@ -678,6 +798,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--report", metavar="PREFIX", default=None,
                          help="write PREFIX.txt and PREFIX.html reports "
                               "(sweep summary + quarantine table)")
+    _add_workload_args(p_sweep)
     _add_fanout_args(p_sweep)
     _add_supervisor_args(p_sweep)
     p_sweep.set_defaults(func=cmd_sweep)
@@ -719,9 +840,27 @@ def build_parser() -> argparse.ArgumentParser:
                          help="goodput probe packets (0 disables the probe)")
     p_chaos.add_argument("--digests", action="store_true",
                          help="print each point's run digest")
+    _add_workload_args(p_chaos)
     _add_fanout_args(p_chaos)
     _add_supervisor_args(p_chaos)
     p_chaos.set_defaults(func=cmd_chaos)
+
+    p_load = sub.add_parser(
+        "load", help="flow-level workload runs: fluid max-min solve of "
+                     "realistic traffic matrices on a converged stack")
+    p_load.add_argument("action", nargs="?", default="run",
+                        choices=("list", "show", "run"))
+    p_load.add_argument("--stack", action="append", default=None,
+                        choices=available_stacks(), metavar="STACK",
+                        help="stack(s) to load; repeatable "
+                             "(default: mtp and bgp-bfd)")
+    p_load.add_argument("--digests", action="store_true",
+                        help="print each run's digest")
+    _add_topo_args(p_load)
+    _add_workload_args(p_load)
+    _add_fanout_args(p_load)
+    _add_supervisor_args(p_load)
+    p_load.set_defaults(func=cmd_load)
 
     p_trace = sub.add_parser(
         "pathtrace", help="trace a flow's path and show per-hop counters")

@@ -638,19 +638,29 @@ class MtpNode:
         """The forwarding decision of section III.D: down via a VID-table
         port when we hold the destination root, else up via a hashed
         choice among alive, unmarked upstream ports; None = no path."""
+        candidates = self.candidate_data_ports(dst_root, ingress_port)
+        if candidates:
+            return candidates[self._balance(flow, len(candidates))]
+        return None
+
+    def candidate_data_ports(
+        self, dst_root: int, ingress_port: Optional[str] = None
+    ) -> list[str]:
+        """The ordered candidate set :meth:`decide_data_port` hashes
+        over right now — the flow-level evaluator's view of this node's
+        forwarding state.  Same construction, minus the per-flow pick:
+        index ``i`` here is what ``_balance(flow, len(...)) == i``
+        selects."""
         down = [
             p for p in self.table.ports_for_root(dst_root)
             if self._port_usable(p) and p != ingress_port
         ]
         if down:
-            return down[self._balance(flow, len(down))]
-        ups = [
+            return down
+        return [
             p for p in self.up_ports()
             if not self.table.is_marked(p, dst_root) and p != ingress_port
         ]
-        if ups:
-            return ups[self._balance(flow, len(ups))]
-        return None
 
     def _balance(self, flow: FlowKey, n_choices: int) -> int:
         if self.per_packet_spray:

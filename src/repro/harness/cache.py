@@ -34,7 +34,11 @@ from repro.harness.digest import canonical_json, payload_digest
 # 3: topology-plugin refactor — the "params" key component is now a
 #    TopologySpec (registry name + canonical params) instead of the raw
 #    clos dataclass; schema-2 entries keyed the old way miss cleanly.
-CACHE_SCHEMA = 3
+# 4: flow-level workload engine — scenario payloads gained the
+#    "workload" report (scenario schema 2 -> 3) and WorkloadSpec joined
+#    the key space ("workload-run" tasks, workload components on sweep
+#    and chaos keys); schema-3 entries miss cleanly.
+CACHE_SCHEMA = 4
 
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 

@@ -35,7 +35,7 @@ digests, serial == parallel.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Any, Optional, Sequence
 
 from repro.sim.units import MILLISECOND, SECOND
 from repro.topology import TopologySpec, resolve_topology_spec
@@ -59,6 +59,8 @@ from repro.harness.supervisor import (
     supervise_tasks,
 )
 from repro.traffic.generator import ReceiverAnalyzer, TrafficSender
+from repro.workload.engine import FluidWorkload
+from repro.workload.spec import resolve_workload
 
 #: Default loss-rate grid: clean fabric first (the zero-FP guard), then
 #: rates spanning "barely gray" to "nearly dead".
@@ -80,10 +82,18 @@ class ChaosPointSpec:
     window_ms: int = DEFAULT_WINDOW_MS
     traffic_pps: int = DEFAULT_TRAFFIC_PPS
     traffic_count: int = DEFAULT_TRAFFIC_COUNT
+    #: optional workload (library name, payload, or spec): the point
+    #: then runs fluid load across the gray window instead of relying
+    #: on the probe burst alone; the report joins result and digest.
+    workload: Optional[Any] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "params",
                            resolve_topology_spec(self.params))
+        if self.workload is not None:
+            object.__setattr__(
+                self, "workload",
+                resolve_workload(self.workload).to_payload())
 
 
 @dataclass
@@ -101,6 +111,7 @@ class ChaosResult:
     route_churn: int = 0
     sent: int = 0
     received: int = 0
+    workload: Optional[dict] = None    # WorkloadReport payload, if loaded
 
     @property
     def goodput(self) -> float:
@@ -149,7 +160,14 @@ def run_chaos_point(spec: ChaosPointSpec) -> ChaosOutcome:
     start = world.sim.now
 
     # phase 1 — quiet window: no offered traffic, so every timer-based
-    # down-declaration is a false positive by construction
+    # down-declaration is a false positive by construction.  A fluid
+    # workload is flow-level (no frames on the wire), so it can overlap
+    # the quiet window without proving liveness to the detectors.
+    engine = None
+    if spec.workload is not None:
+        engine = FluidWorkload(resolve_workload(spec.workload), topo,
+                               deployment)
+        engine.start()
     monitor.observe_for(spec.window_ms * MILLISECOND)
     stats = liveness_stats(
         world.trace, deployment.classify_liveness, injector.events,
@@ -180,6 +198,8 @@ def run_chaos_point(spec: ChaosPointSpec) -> ChaosOutcome:
         result.sent = sender.sent
         result.received = analyzer.received
         analyzer.close()
+    if engine is not None:
+        result.workload = engine.finish().to_payload()
     monitor.detach()
     result.route_churn = route_churn(before, deployment.forwarding_tables())
     digest = run_digest(world.trace, _result_payload(result))
@@ -201,6 +221,10 @@ def chaos_point_key(spec: ChaosPointSpec) -> str:
         window_ms=spec.window_ms,
         traffic_pps=spec.traffic_pps,
         traffic_count=spec.traffic_count,
+        # loaded points key differently; probe-only entries keep their
+        # cache identity (the component is omitted when None)
+        **({"workload": spec.workload} if spec.workload is not None
+           else {}),
     )
 
 
@@ -217,6 +241,8 @@ def _result_payload(result: ChaosResult) -> dict:
         "route_churn": result.route_churn,
         "sent": result.sent,
         "received": result.received,
+        **({"workload": result.workload} if result.workload is not None
+           else {}),
     }
 
 
@@ -237,6 +263,7 @@ def decode_chaos_outcome(payload: dict) -> ChaosOutcome:
         route_churn=payload["route_churn"],
         sent=payload["sent"],
         received=payload["received"],
+        workload=payload.get("workload"),
     )
     return ChaosOutcome(result=result, digest=payload["digest"])
 
@@ -253,13 +280,14 @@ def chaos_specs(
     window_ms: int = DEFAULT_WINDOW_MS,
     traffic_pps: int = DEFAULT_TRAFFIC_PPS,
     traffic_count: int = DEFAULT_TRAFFIC_COUNT,
+    workload: Optional[Any] = None,
 ) -> list[ChaosPointSpec]:
     """Expand the loss-rate x stack grid, stack-major."""
     return [
         ChaosPointSpec(params=params, stack=resolve_spec(stack, timers),
                        seed=seed, loss=float(rate), window_ms=window_ms,
                        traffic_pps=traffic_pps,
-                       traffic_count=traffic_count)
+                       traffic_count=traffic_count, workload=workload)
         for stack in stacks
         for rate in rates
     ]
@@ -279,6 +307,7 @@ def run_chaos_suite(
     window_ms: int = DEFAULT_WINDOW_MS,
     traffic_pps: int = DEFAULT_TRAFFIC_PPS,
     traffic_count: int = DEFAULT_TRAFFIC_COUNT,
+    workload: Optional[Any] = None,
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
     report: Optional[FanoutReport] = None,
@@ -292,7 +321,7 @@ def run_chaos_suite(
     the rest of the grid completes.
     """
     specs = chaos_specs(params, stacks, rates, seed, timers, window_ms,
-                        traffic_pps, traffic_count)
+                        traffic_pps, traffic_count, workload)
     if policy is not None or supervisor is not None:
         return supervise_tasks(
             specs, run_chaos_point, jobs=jobs, policy=policy, cache=cache,

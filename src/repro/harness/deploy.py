@@ -164,6 +164,20 @@ class BgpDeployment:
         return (self.speakers[node].summary() + "\nFIB:\n"
                 + self.stacks[node].table.render())
 
+    def fluid_candidates(self, node: str, dst_tor: str,
+                         ingress_port: Optional[str]
+                         ) -> tuple[int, bool, tuple[str, ...]]:
+        """(salt, spray, egress ports) for rack ``dst_tor`` at ``node``,
+        exactly the set :meth:`RoutingTable.select_nexthop` hashes over:
+        the matched route's next hops in route order, hashed with the
+        table's salt.  BGP ignores the ingress port."""
+        table = self.stacks[node].table
+        route = table.lookup(self.topo.rack_subnet[dst_tor].host(1))
+        if route is None:
+            return (table.salt, False, ())
+        return (table.salt, False,
+                tuple(nh.interface for nh in route.nexthops))
+
     def trace_fabric_path(self, path: list[str], dst_ip: Ipv4Address,
                           dst_host: str, flow: FlowKey) -> list[str]:
         current = path[-1]
@@ -314,6 +328,19 @@ class MtpDeployment:
 
     def describe_node(self, node: str) -> str:
         return self.mtp_nodes[node].summary()
+
+    def fluid_candidates(self, node: str, dst_tor: str,
+                         ingress_port: Optional[str]
+                         ) -> tuple[int, bool, tuple[str, ...]]:
+        """(salt, spray, egress ports) for rack ``dst_tor`` at ``node``:
+        the candidate set :meth:`MtpNode.decide_data_port` balances over
+        right now — VID-table down-ports when the node holds the
+        destination root, else alive unmarked up-ports, ingress
+        excluded."""
+        mtp = self.mtp_nodes[node]
+        dst_root = self.topo.tor_vid_seed[dst_tor]
+        return (mtp.salt, mtp.per_packet_spray,
+                tuple(mtp.candidate_data_ports(dst_root, ingress_port)))
 
     def trace_fabric_path(self, path: list[str], dst_ip: Ipv4Address,
                           dst_host: str, flow: FlowKey) -> list[str]:

@@ -24,6 +24,21 @@ from repro.core.messages import MtpKeepalive
 
 
 # ----------------------------------------------------------------------
+# order statistics
+# ----------------------------------------------------------------------
+def nearest_rank_percentile(sorted_values, pct: float) -> int:
+    """Nearest-rank percentile of an ascending sequence (an int, -1 when
+    empty).  Nearest-rank — not interpolated — so the reported value is
+    always one that actually occurred, and tiny float drift in the
+    inputs cannot move the digest."""
+    n = len(sorted_values)
+    if n == 0:
+        return -1
+    rank = max(1, min(n, -(-int(pct * n) // 100)))  # ceil(pct*n/100)
+    return int(sorted_values[rank - 1])
+
+
+# ----------------------------------------------------------------------
 # blast radius
 # ----------------------------------------------------------------------
 def snapshot_table_change_counts(tables: dict[str, object]) -> dict[str, int]:

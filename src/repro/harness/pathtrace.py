@@ -28,6 +28,15 @@ def _flow(src_ip: Ipv4Address, dst_ip: Ipv4Address,
                    src_port=src_port, dst_port=dst_port)
 
 
+def access_uplink(topo, host: str):
+    """A server's access hop as ``(host interface, ToR interface)`` —
+    the one wired path every flow to or from ``host`` crosses.  Shared
+    by the per-packet tracer below and the fluid workload engine, so
+    both resolve the rack edge identically."""
+    host_iface = topo.node(host).interfaces["eth1"]
+    return host_iface, host_iface.peer()
+
+
 def trace_path(
     deployment,
     src_host: str,
@@ -42,8 +51,7 @@ def trace_path(
     dst_ip = topo.server_address(dst_host)
     flow = _flow(src_ip, dst_ip, src_port, dst_port)
     # server -> its ToR
-    server = topo.node(src_host)
-    tor_iface = server.interfaces["eth1"].peer()
+    _, tor_iface = access_uplink(topo, src_host)
     path = [src_host, tor_iface.node.name]
     return deployment.trace_fabric_path(path, dst_ip, dst_host, flow)
 

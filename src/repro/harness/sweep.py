@@ -20,7 +20,7 @@ The sweep is stack-agnostic: any stack registered with
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Optional
+from typing import Any, Iterable, Optional
 
 from repro.sim.units import SECOND
 from repro.topology import (
@@ -42,6 +42,8 @@ from repro.harness.supervisor import (
     SupervisorReport,
     supervise_tasks,
 )
+from repro.workload.engine import FluidWorkload
+from repro.workload.spec import resolve_workload
 
 
 @dataclass(frozen=True)
@@ -56,6 +58,7 @@ class SweepResult:
     point: FailurePoint
     pairs_checked: int
     unreachable: list[tuple[str, str, str]] = field(default_factory=list)
+    workload: Optional[dict] = None  # WorkloadReport payload, if loaded
 
     @property
     def ok(self) -> bool:
@@ -75,10 +78,19 @@ class SweepPointSpec:
     #: failure plays out — sweeping under gray noise instead of a
     #: pristine fabric.  0.0 (the default) keeps the classic sweep.
     ambient_loss: float = 0.0
+    #: optional workload (library name, payload, or spec): each point
+    #: then runs the fluid workload across the failure window, and its
+    #: aggregate report joins the result and the digest.  None (the
+    #: default) keeps the classic probe-only sweep.
+    workload: Optional[Any] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "params",
                            resolve_topology_spec(self.params))
+        if self.workload is not None:
+            object.__setattr__(
+                self, "workload",
+                resolve_workload(self.workload).to_payload())
 
 
 @dataclass
@@ -146,23 +158,35 @@ def run_sweep_point(spec: SweepPointSpec) -> SweepOutcome:
             # once, so every link ends up lossy both ways
             injector.impair_link(p.node, p.interface, profile,
                                  direction="tx")
+    engine = None
+    if spec.workload is not None:
+        engine = FluidWorkload(resolve_workload(spec.workload), topo,
+                               deployment)
+        engine.start()
     topo.node(point.node).interfaces[point.interface].set_admin(False)
+    if engine is not None:
+        engine.mark_epoch()  # capture the just-failed forwarding state
     world.run_for(deployment.detection_bound_us()
                   + spec.reconverge_margin_us)
     checked, unreachable = check_all_pairs(deployment, topo)
     result = SweepResult(point=point, pairs_checked=checked,
                          unreachable=unreachable)
+    if engine is not None:
+        result.workload = engine.finish().to_payload()
     digest = run_digest(world.trace, _result_payload(result))
     return SweepOutcome(result=result, digest=digest)
 
 
 def _result_payload(result: SweepResult) -> dict:
-    return {
+    payload = {
         "point": [result.point.node, result.point.interface,
                   result.point.peer],
         "pairs_checked": result.pairs_checked,
         "unreachable": [list(u) for u in result.unreachable],
     }
+    if result.workload is not None:
+        payload["workload"] = result.workload
+    return payload
 
 
 def sweep_point_key(spec: SweepPointSpec) -> str:
@@ -173,6 +197,10 @@ def sweep_point_key(spec: SweepPointSpec) -> str:
         # only a non-zero rate enters the key: classic (pristine) sweep
         # entries keep their pre-impairment cache identity
         extra["ambient_loss"] = spec.ambient_loss
+    if spec.workload is not None:
+        # likewise: the workload payload joins the key only for loaded
+        # sweeps, so probe-only entries keep their cache identity
+        extra["workload"] = spec.workload
     return task_key(
         "sweep-point",
         params=spec.params,
@@ -195,6 +223,7 @@ def decode_sweep_outcome(payload: dict) -> SweepOutcome:
         point=FailurePoint(*payload["point"]),
         pairs_checked=payload["pairs_checked"],
         unreachable=[tuple(u) for u in payload["unreachable"]],
+        workload=payload.get("workload"),
     )
     return SweepOutcome(result=result, digest=payload["digest"])
 
@@ -210,6 +239,7 @@ def sweep_specs(
     points: Optional[list[FailurePoint]] = None,
     reconverge_margin_us: int = 1 * SECOND,
     ambient_loss: float = 0.0,
+    workload: Optional[Any] = None,
 ) -> list[SweepPointSpec]:
     """Expand a sweep into its independent per-point tasks."""
     spec = resolve_spec(stack, timers)
@@ -221,7 +251,7 @@ def sweep_specs(
         SweepPointSpec(params=params, stack=spec, seed=seed,
                        point=point,
                        reconverge_margin_us=reconverge_margin_us,
-                       ambient_loss=ambient_loss)
+                       ambient_loss=ambient_loss, workload=workload)
         for point in points
     ]
 
@@ -240,6 +270,7 @@ def single_failure_sweep_outcomes(
     points: Optional[list[FailurePoint]] = None,
     reconverge_margin_us: int = 1 * SECOND,
     ambient_loss: float = 0.0,
+    workload: Optional[Any] = None,
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
     report: Optional[FanoutReport] = None,
@@ -256,7 +287,7 @@ def single_failure_sweep_outcomes(
     and the rest of the sweep still completes.
     """
     specs = sweep_specs(params, stack, seed, timers, points,
-                        reconverge_margin_us, ambient_loss)
+                        reconverge_margin_us, ambient_loss, workload)
     if policy is not None or supervisor is not None:
         return supervise_tasks(
             specs, run_sweep_point, jobs=jobs, policy=policy, cache=cache,

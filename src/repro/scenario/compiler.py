@@ -40,6 +40,14 @@ from repro.harness.metrics import (
 from repro.scenario.model import DOWN_OPS, Scenario, ScenarioError
 from repro.scenario.targets import TargetResolver
 from repro.traffic.generator import ReceiverAnalyzer, TrafficSender
+from repro.workload.engine import FluidWorkload
+
+# every op whose execution can change forwarding state or link quality:
+# a scheduled workload re-solves its rate allocation right after each
+# (1 us later, so the injector has already run within the same tick)
+ROUTE_CHANGE_OPS = ("iface_down", "iface_up", "link_cut", "link_restore",
+                    "node_crash", "node_restart", "flap_train", "impair",
+                    "clear_impairment")
 
 # default flow selector for the first traffic burst; later bursts step
 # by one so concurrent flows stay distinguishable at the receiver
@@ -78,6 +86,7 @@ class ScenarioMetrics:
     flaps: int = 0                 # adjacency/session up-transitions
     route_churn: int = 0           # total table changes (stability score)
     checkpoints: list[Checkpoint] = field(default_factory=list)
+    workload: Optional[dict] = None  # WorkloadReport payload, if loaded
 
     @property
     def lost(self) -> int:
@@ -121,6 +130,10 @@ class CompiledScenario:
         self.actions = [self._resolve(event, resolver, index)
                         for index, event in enumerate(scenario.events)]
         self.horizon_us = scenario.horizon_ms() * MILLISECOND
+        if sum(1 for a in self.actions if a[0] == "workload") > 1:
+            raise ScenarioError(
+                f"scenario {scenario.name!r}: at most one workload op "
+                f"per scenario (one fluid engine owns the run's load)")
 
     # ------------------------------------------------------------------
     def _resolve(self, event, resolver: TargetResolver, index: int):
@@ -155,6 +168,8 @@ class CompiledScenario:
             return (event.op, at_us, resolver.interface(event.target),
                     event.direction if event.direction is not None
                     else "both")
+        if event.op == "workload":
+            return (event.op, at_us, event.workload_spec())
         if event.op == "pause":
             return (event.op, at_us)
         return (event.op, at_us, event.label)  # measure
@@ -186,6 +201,7 @@ class CompiledScenario:
 
         checkpoints: list[Checkpoint] = []
         bursts: list[_Burst] = []
+        engines: list[FluidWorkload] = []
         first_fault_us: Optional[int] = None
         for action in self.actions:
             op, at_us = action[0], action[1]
@@ -193,7 +209,16 @@ class CompiledScenario:
                                    or at_us < first_fault_us):
                 first_fault_us = at_us
             self._dispatch(action, injector, monitor, checkpoints,
-                           bursts, start)
+                           bursts, engines, start)
+        if engines:
+            # re-solve the fluid allocation right after every scheduled
+            # route-changing action (the injector runs first within the
+            # tick); the engine's own sampler covers reconvergence
+            engine = engines[0]
+            for action in self.actions:
+                if action[0] in ROUTE_CHANGE_OPS:
+                    world.sim.schedule_at(start + action[1] + 1,
+                                          engine.mark_epoch)
 
         quiet_us = scenario.quiet_ms * MILLISECOND
         min_wait_us = (self.horizon_us + deployment.detection_bound_us()
@@ -230,13 +255,17 @@ class CompiledScenario:
             metrics.false_positives = stats.false_positives
             metrics.flaps = stats.flaps
         self._account_traffic(metrics, bursts)
+        if engines:
+            # finish() already fired at the workload's scheduled end;
+            # calling it again just returns the settled report
+            metrics.workload = engines[0].finish().to_payload()
         return metrics
 
     # ------------------------------------------------------------------
     def _dispatch(self, action, injector: FailureInjector,
                   monitor: ConvergenceMonitor,
                   checkpoints: list[Checkpoint], bursts: list[_Burst],
-                  start: int) -> None:
+                  engines: list, start: int) -> None:
         op, at_us = action[0], action[1]
         # offset-0 fault events run synchronously (in declaration order),
         # exactly as the classic experiment drivers inject them
@@ -279,6 +308,16 @@ class CompiledScenario:
             bursts.append(_Burst(sender=sender, analyzer=analyzer,
                                  src_addr=self.topo.server_address(src),
                                  src_port=src_port, gap_us=gap_us))
+        elif op == "workload":
+            wl_spec = action[2]
+            engine = FluidWorkload(wl_spec, self.topo, self.deployment)
+            engines.append(engine)
+            if at_us == 0:
+                engine.start()
+            else:
+                self.world.sim.schedule_at(start + at_us, engine.start)
+            end_at = start + at_us + wl_spec.duration_ms * MILLISECOND
+            self.world.sim.schedule_at(end_at, engine.finish)
         elif op == "measure":
             label = action[2]
 

@@ -1,6 +1,6 @@
 """The canonical scenario library.
 
-Eight shipped workloads, runnable on any registered stack via
+Twelve shipped scenarios, runnable on any registered stack via
 ``python -m repro scenario run``:
 
 * ``tc1``–``tc4`` — the paper's four interface-failure test points
@@ -22,7 +22,13 @@ Eight shipped workloads, runnable on any registered stack via
   it provokes shows up in the ``false_positives`` metric;
 * ``lossy-spine`` — an agg-top link runs at 10 % symmetric loss for
   4 s, then heals: the healthy-but-lossy regime where aggressive
-  detectors (Quick-to-Detect, tight BFD) start false-flagging.
+  detectors (Quick-to-Detect, tight BFD) start false-flagging;
+* ``incast-storm`` — a synchronized incast *workload* (the fluid
+  flow-level engine, ``workload`` op) rides out a TC1-style failure
+  and recovery: goodput, FCT tails and the blackhole window under
+  partition-aggregate load;
+* ``hotspot-drain`` — a hotspot workload while one aggregation drains
+  for maintenance and returns: skewed load on reduced capacity.
 
 Scenarios are topology-relative (symbolic targets), so the same library
 runs on 2-PoD, 4-PoD or multi-zone fabrics unchanged.
@@ -158,8 +164,49 @@ LOSSY_SPINE = Scenario(
     ),
 )
 
+INCAST_STORM = Scenario(
+    name="incast-storm",
+    description="a synchronized incast workload (fluid flow-level load) "
+                "rides out a TC1-style uplink failure and recovery: the "
+                "report's blackhole window is the flow-level view of the "
+                "same detection bound the probe scenarios measure",
+    settle="keepalive-phase",
+    quiet_ms=1000,
+    max_wait_ms=45_000,
+    events=(
+        ScenarioEvent(op="workload", at_ms=0, workload={
+            "name": "incast-storm", "matrix": "incast",
+            "flows": 600, "duration_ms": 600, "incast_fanin": 8,
+            "elephant_fraction": 0.02, "epoch_ms": 25,
+        }),
+        ScenarioEvent(op="iface_down", at_ms=150, target="case:TC1"),
+        ScenarioEvent(op="iface_up", at_ms=400, target="case:TC1"),
+    ),
+)
+
+HOTSPOT_DRAIN = Scenario(
+    name="hotspot-drain",
+    description="a hotspot workload (half the flows into one hot rack) "
+                "while a randomly chosen aggregation drains for "
+                "maintenance and returns — skewed load meeting reduced "
+                "fabric capacity",
+    settle="keepalive-phase",
+    quiet_ms=1000,
+    max_wait_ms=60_000,
+    events=(
+        ScenarioEvent(op="workload", at_ms=0, workload={
+            "name": "hotspot-drain", "matrix": "hotspot",
+            "flows": 600, "duration_ms": 600, "hotspot_fraction": 0.5,
+            "epoch_ms": 25,
+        }),
+        ScenarioEvent(op="node_crash", at_ms=150, target="any-agg"),
+        ScenarioEvent(op="node_restart", at_ms=400, target="any-agg"),
+    ),
+)
+
 CANONICAL = (TC1, TC2, TC3, TC4, FLAP_STORM, DOUBLE_CUT, DRAIN,
-             ROLLING_RESTART, GRAY_UPLINK, LOSSY_SPINE)
+             ROLLING_RESTART, GRAY_UPLINK, LOSSY_SPINE,
+             INCAST_STORM, HOTSPOT_DRAIN)
 
 
 def canonical_scenarios() -> dict[str, Scenario]:

@@ -26,11 +26,13 @@ from typing import Any, Mapping, Optional, Union
 
 from repro.harness.digest import canonical_json
 from repro.net.impairment import DIRECTIONS, resolve_profile
+from repro.workload.spec import WorkloadError, resolve_workload
 
 # Bump when the scenario payload semantics change: the schema number is
 # embedded in every serialized scenario and in every scenario cache key.
 # Schema 2 added the impair/clear_impairment ops (gray failures).
-SCENARIO_SCHEMA = 2
+# Schema 3 added the workload op (flow-level load under faults).
+SCENARIO_SCHEMA = 3
 
 
 class ScenarioError(ValueError):
@@ -55,6 +57,7 @@ _EVENT_FIELDS: dict[str, tuple[tuple[str, ...], tuple[str, ...]]] = {
                ("profile", "direction", "loss", "corrupt", "duplicate",
                 "jitter_us", "ge_p", "ge_r", "ge_loss_bad")),
     "clear_impairment": (("target",), ("direction",)),
+    "workload": (("workload",), ()),
 }
 
 # events that begin an outage (used for the detection-time metric).
@@ -89,6 +92,7 @@ class ScenarioEvent:
     ge_p: Optional[float] = None     # impair: Gilbert-Elliott P(good->bad)
     ge_r: Optional[float] = None     # impair: Gilbert-Elliott P(bad->good)
     ge_loss_bad: Optional[float] = None  # impair: loss prob in bad state
+    workload: Optional[Any] = None   # workload: spec name or payload dict
 
     def __post_init__(self) -> None:
         if self.op not in _EVENT_FIELDS:
@@ -136,6 +140,15 @@ class ScenarioEvent:
                 self.impairment_profile()
             except ValueError as exc:
                 raise ScenarioError(f"impair: {exc}") from None
+        if self.op == "workload":
+            # validate and normalize eagerly: the stored form is always
+            # the full resolved spec payload, so a preset name and its
+            # expansion serialize (and cache-key) identically
+            try:
+                resolved = resolve_workload(self.workload)
+            except WorkloadError as exc:
+                raise ScenarioError(f"workload: {exc}") from None
+            object.__setattr__(self, "workload", resolved.to_payload())
 
     def impairment_profile(self):
         """The validated :class:`~repro.net.impairment.ImpairmentProfile`
@@ -144,6 +157,11 @@ class ScenarioEvent:
             self.profile, loss=self.loss, corrupt=self.corrupt,
             duplicate=self.duplicate, jitter_us=self.jitter_us,
             ge_p=self.ge_p, ge_r=self.ge_r, ge_loss_bad=self.ge_loss_bad)
+
+    def workload_spec(self):
+        """The resolved :class:`~repro.workload.spec.WorkloadSpec` this
+        ``workload`` event carries."""
+        return resolve_workload(self.workload)
 
     # ------------------------------------------------------------------
     def duration_ms_total(self) -> int:
@@ -157,6 +175,8 @@ class ScenarioEvent:
             return -(-self.count * gap_us // 1000)  # ceil to whole ms
         if self.op == "pause":
             return self.duration_ms
+        if self.op == "workload":
+            return self.workload["duration_ms"]
         return 0
 
     def to_payload(self) -> dict:

@@ -102,7 +102,7 @@ def scenario_task_key(spec: ScenarioRunSpec) -> str:
 
 
 def _metrics_payload(metrics: ScenarioMetrics) -> dict:
-    return {
+    payload = {
         "scenario": metrics.scenario,
         "stack": metrics.stack,
         "seed": metrics.seed,
@@ -123,6 +123,11 @@ def _metrics_payload(metrics: ScenarioMetrics) -> dict:
         "checkpoints": [[c.label, c.time_us, c.update_count, c.update_bytes]
                         for c in metrics.checkpoints],
     }
+    if metrics.workload is not None:
+        # only loaded runs carry the key: workload-free payloads (and so
+        # their run digests) stay byte-identical with the pre-workload era
+        payload["workload"] = metrics.workload
+    return payload
 
 
 def encode_scenario_outcome(outcome: ScenarioOutcome) -> dict:
@@ -151,6 +156,7 @@ def decode_scenario_outcome(payload: dict) -> ScenarioOutcome:
         checkpoints=[Checkpoint(label=c[0], time_us=c[1], update_count=c[2],
                                 update_bytes=c[3])
                      for c in payload["checkpoints"]],
+        workload=payload.get("workload"),
     )
     return ScenarioOutcome(metrics=metrics, digest=payload["digest"])
 

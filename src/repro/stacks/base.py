@@ -122,6 +122,18 @@ class Deployment(Protocol):
         ToR) to ``dst_host``; raises RuntimeError on dead ends/loops."""
         ...
 
+    def fluid_candidates(self, node: str, dst_tor: str,
+                         ingress_port: Optional[str]
+                         ) -> tuple[int, bool, tuple[str, ...]]:
+        """The multipath candidate set at ``node`` toward rack
+        ``dst_tor``, as ``(ecmp_salt, per_packet_spray, egress ports)``
+        — the exact ordered set the data plane balances a flow over
+        right now, so the flow-level workload evaluator
+        (:mod:`repro.workload.engine`) reproduces per-flow path choices
+        without forwarding a packet.  An empty port tuple means the
+        stack currently has no path (a blackhole)."""
+        ...
+
 
 ParamItems = Union[Mapping[str, Any], Iterable[tuple[str, Any]], None]
 

@@ -126,6 +126,8 @@ class Topology(Protocol):
 
     def server_address(self, host: str) -> Ipv4Address: ...
 
+    def rack_endpoints(self) -> list[tuple[str, list[str]]]: ...
+
     def failure_cases(self) -> dict[str, FailureCase]: ...
 
     def fabric_ports(self, node_name: str, up: bool) -> list[str]: ...
@@ -189,6 +191,14 @@ class BaseTopology:
 
     def first_server_of(self, tor: str) -> str:
         return self.servers[tor][0]
+
+    def rack_endpoints(self) -> list[tuple[str, list[str]]]:
+        """(tor, hosts) per rack, in ToR creation order — the endpoint
+        enumeration seam the workload synthesizer expands traffic
+        matrices over.  Every registered family gets it for free from
+        ``servers``; a family with off-rack endpoints would override."""
+        return [(tor, list(self.servers.get(tor, ())))
+                for tor in self.all_tors()]
 
     def server_address(self, host: str) -> Ipv4Address:
         node = self.node(host)

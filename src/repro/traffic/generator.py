@@ -31,12 +31,23 @@ class SeqPayload:
 
 @dataclass
 class TrafficReport:
-    """The analyzer's verdict (paper section VI.D)."""
+    """The analyzer's verdict (paper section VI.D).
+
+    ``bytes_delivered`` / ``goodput_bps`` make the per-packet analyzer
+    directly comparable with the fluid workload engine's byte-level
+    accounting (:class:`repro.workload.WorkloadReport`): both express
+    delivery as application bytes over the active window."""
 
     sent: int
     received: int
     duplicated: int
     out_of_order: int
+    #: application payload bytes delivered (first copies only; dups
+    #: don't count toward goodput)
+    bytes_delivered: int = 0
+    #: receive window in microseconds (first rx to last rx); 0 when
+    #: fewer than two packets arrived
+    window_us: int = 0
 
     @property
     def lost(self) -> int:
@@ -46,10 +57,18 @@ class TrafficReport:
     def loss_fraction(self) -> float:
         return self.lost / self.sent if self.sent else 0.0
 
+    @property
+    def goodput_bps(self) -> float:
+        """Delivered application bits per second over the rx window."""
+        if self.window_us <= 0:
+            return 0.0
+        return self.bytes_delivered * 8 * 1_000_000 / self.window_us
+
     def __str__(self) -> str:
         return (
             f"sent={self.sent} received={self.received} lost={self.lost} "
-            f"dup={self.duplicated} ooo={self.out_of_order}"
+            f"dup={self.duplicated} ooo={self.out_of_order} "
+            f"bytes={self.bytes_delivered}"
         )
 
 
@@ -120,6 +139,7 @@ class ReceiverAnalyzer:
         self.received = 0
         self.duplicated = 0
         self.out_of_order = 0
+        self.bytes_delivered = 0
         self.first_rx_time: Optional[int] = None
         self.last_rx_time: Optional[int] = None
         udp.open(port, self._on_packet)
@@ -138,6 +158,7 @@ class ReceiverAnalyzer:
             return
         seen.add(payload.seq)
         self.received += 1
+        self.bytes_delivered += payload.wire_size
         if payload.seq < self._highest.get(flow, -1):
             self.out_of_order += 1
         else:
@@ -149,11 +170,17 @@ class ReceiverAnalyzer:
         return len(self._flows.get((src.value, src_port), ()))
 
     def report(self, sender: TrafficSender) -> TrafficReport:
+        window = 0
+        if (self.first_rx_time is not None
+                and self.last_rx_time is not None):
+            window = self.last_rx_time - self.first_rx_time
         return TrafficReport(
             sent=sender.sent,
             received=self.received,
             duplicated=self.duplicated,
             out_of_order=self.out_of_order,
+            bytes_delivered=self.bytes_delivered,
+            window_us=window,
         )
 
     def close(self) -> None:

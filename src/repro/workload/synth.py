@@ -1,0 +1,189 @@
+"""Deterministic workload synthesis: spec x endpoints -> flow records.
+
+Expansion draws from dedicated named RNG streams (``workload-matrix``,
+``workload-size``, ``workload-arrival``, ``workload-port``), so a
+workload's flows are a pure function of (seed, spec, endpoint listing)
+and never perturb any other seeded subsystem — the same independence
+contract every protocol stack relies on.
+
+The output is a struct-of-arrays :class:`FlowSet` (numpy columns, one
+row per flow): the shape the fluid evaluator consumes directly, and the
+only representation that stays cheap at millions of flows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.sim.units import MILLISECOND
+from repro.workload.spec import WorkloadError, WorkloadSpec
+
+# src ports: a high ephemeral band, wide enough that concurrent flows
+# between one host pair still hash over distinct 5-tuples
+_PORT_BASE = 16384
+_PORT_SPAN = 45000
+# per-tenant service ports, so the tenant id is visible in the 5-tuple
+_SERVICE_PORT_BASE = 7700
+
+
+@dataclass
+class FlowSet:
+    """One synthesized workload, expanded against concrete endpoints.
+
+    Columns are parallel arrays indexed by flow id.  ``hosts`` and
+    ``tors`` map the integer host/rack columns back to node names;
+    ``host_tor[h]`` is the rack index of host ``h``.
+    """
+
+    spec: WorkloadSpec
+    hosts: tuple[str, ...]
+    tors: tuple[str, ...]
+    host_tor: np.ndarray      # int32 [H] host -> rack index
+    src: np.ndarray           # int32 [F] source host index
+    dst: np.ndarray           # int32 [F] destination host index
+    size_bytes: np.ndarray    # int64 [F]
+    arrival_us: np.ndarray    # int64 [F] offset from workload start
+    tenant: np.ndarray        # int16 [F]
+    src_port: np.ndarray      # int32 [F]
+    dst_port: np.ndarray      # int32 [F]
+
+    def __len__(self) -> int:
+        return len(self.src)
+
+    @property
+    def offered_bytes(self) -> int:
+        return int(self.size_bytes.sum())
+
+
+def _host_layout(endpoints: Sequence[tuple[str, Sequence[str]]]):
+    """Flatten (tor, hosts) rack listing into indexable columns."""
+    tors: list[str] = []
+    hosts: list[str] = []
+    host_tor: list[int] = []
+    rack_first: list[int] = []
+    rack_count: list[int] = []
+    for tor, rack_hosts in endpoints:
+        if not rack_hosts:
+            continue
+        rack = len(tors)
+        tors.append(tor)
+        rack_first.append(len(hosts))
+        rack_count.append(len(rack_hosts))
+        for host in rack_hosts:
+            hosts.append(host)
+            host_tor.append(rack)
+    return (tuple(tors), tuple(hosts),
+            np.asarray(host_tor, dtype=np.int32),
+            np.asarray(rack_first, dtype=np.int64),
+            np.asarray(rack_count, dtype=np.int64))
+
+
+def _pick_host(rng, racks: np.ndarray, rack_first: np.ndarray,
+               rack_count: np.ndarray) -> np.ndarray:
+    """A uniform host within each flow's rack (racks with any host
+    count supported)."""
+    offsets = np.floor(rng.random(len(racks)) * rack_count[racks])
+    return (rack_first[racks] + offsets.astype(np.int64)).astype(np.int32)
+
+
+def _other_rack(rng, src_rack: np.ndarray, n_racks: int) -> np.ndarray:
+    """A uniform rack different from each flow's source rack."""
+    shift = rng.integers(1, n_racks, size=len(src_rack))
+    return ((src_rack + shift) % n_racks).astype(np.int64)
+
+
+def synthesize(spec: WorkloadSpec,
+               endpoints: Sequence[tuple[str, Sequence[str]]],
+               rng_registry) -> FlowSet:
+    """Expand ``spec`` against ``endpoints`` (a topology's
+    ``rack_endpoints()`` listing) using the registry's dedicated
+    workload streams."""
+    tors, hosts, host_tor, rack_first, rack_count = _host_layout(endpoints)
+    n_racks = len(tors)
+    if n_racks < 2:
+        raise WorkloadError(
+            f"workload {spec.name!r} needs at least 2 populated racks, "
+            f"topology has {n_racks}")
+
+    matrix_rng = rng_registry.stream("workload-matrix")
+    size_rng = rng_registry.stream("workload-size")
+    arrival_rng = rng_registry.stream("workload-arrival")
+    port_rng = rng_registry.stream("workload-port")
+    n = spec.flows
+
+    # ---- the matrix: (src rack, dst rack) per flow -------------------
+    if spec.matrix == "permutation":
+        # a random rack cycle: derangement by construction, so every
+        # rack sends to exactly one other rack and receives from one
+        order = matrix_rng.permutation(n_racks)
+        cycle = np.empty(n_racks, dtype=np.int64)
+        cycle[order] = np.roll(order, -1)
+        src_rack = matrix_rng.integers(0, n_racks, size=n)
+        dst_rack = cycle[src_rack]
+    elif spec.matrix == "uniform":
+        src_rack = matrix_rng.integers(0, n_racks, size=n)
+        dst_rack = _other_rack(matrix_rng, src_rack, n_racks)
+    elif spec.matrix == "all-to-all":
+        # round-robin over every ordered rack pair: coverage first,
+        # randomness only inside the rack
+        pairs = np.arange(n, dtype=np.int64) % (n_racks * (n_racks - 1))
+        src_rack = pairs // (n_racks - 1)
+        dst_rack = (src_rack + 1 + pairs % (n_racks - 1)) % n_racks
+    elif spec.matrix == "hotspot":
+        hot = int(matrix_rng.integers(0, n_racks))
+        src_rack = matrix_rng.integers(0, n_racks, size=n)
+        dst_rack = _other_rack(matrix_rng, src_rack, n_racks)
+        to_hot = (matrix_rng.random(n) < spec.hotspot_fraction) \
+            & (src_rack != hot)
+        dst_rack[to_hot] = hot
+    else:  # incast
+        groups = -(-n // spec.incast_fanin)  # ceil
+        sink_rack = matrix_rng.integers(0, n_racks, size=groups)
+        group_of = np.arange(n, dtype=np.int64) // spec.incast_fanin
+        dst_rack = sink_rack[group_of]
+        src_rack = _other_rack(matrix_rng, dst_rack, n_racks)
+
+    src = _pick_host(matrix_rng, src_rack, rack_first, rack_count)
+    dst = _pick_host(matrix_rng, dst_rack, rack_first, rack_count)
+    if spec.matrix == "incast":
+        # the hallmark of incast is one shared sink *server* per group:
+        # every flow adopts the host its group's first flow picked
+        group_of = np.arange(n, dtype=np.int64) // spec.incast_fanin
+        dst = dst[group_of * spec.incast_fanin]
+
+    # ---- sizes: elephant-mice mix ------------------------------------
+    elephant = size_rng.random(n) < spec.elephant_fraction
+    base = np.where(elephant, float(spec.elephant_bytes),
+                    float(spec.mice_bytes))
+    jitter = np.exp2(size_rng.uniform(-1.0, 1.0, size=n))
+    size_bytes = np.maximum((base * jitter).astype(np.int64), 1)
+
+    # ---- arrivals: per-tenant conditioned Poisson --------------------
+    # each tenant's arrival times, conditioned on its flow count, are
+    # i.i.d. uniforms over the window (order statistics of a Poisson
+    # process); sorting within the tenant recovers the process
+    window_us = spec.duration_ms * MILLISECOND
+    tenant = arrival_rng.integers(0, spec.tenants, size=n).astype(np.int16)
+    raw = arrival_rng.random(n) * window_us
+    arrival_us = np.empty(n, dtype=np.int64)
+    for t in range(spec.tenants):
+        mask = tenant == t
+        arrival_us[mask] = np.sort(raw[mask]).astype(np.int64)
+    if spec.matrix == "incast":
+        # synchronized senders: every flow of a group starts when the
+        # group's first flow does
+        group_of = np.arange(n, dtype=np.int64) // spec.incast_fanin
+        arrival_us = arrival_us[group_of * spec.incast_fanin]
+
+    # ---- the 5-tuple tail --------------------------------------------
+    src_port = (_PORT_BASE
+                + port_rng.integers(0, _PORT_SPAN, size=n)).astype(np.int32)
+    dst_port = (_SERVICE_PORT_BASE + tenant.astype(np.int32))
+
+    return FlowSet(spec=spec, hosts=hosts, tors=tors, host_tor=host_tor,
+                   src=src, dst=dst, size_bytes=size_bytes,
+                   arrival_us=arrival_us, tenant=tenant,
+                   src_port=src_port, dst_port=dst_port)

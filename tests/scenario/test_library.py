@@ -20,7 +20,8 @@ def test_library_names_and_lookup():
     names = list(canonical_scenarios())
     assert names == ["tc1", "tc2", "tc3", "tc4", "flap-storm",
                      "double-cut", "drain", "rolling-restart",
-                     "gray-uplink", "lossy-spine"]
+                     "gray-uplink", "lossy-spine", "incast-storm",
+                     "hotspot-drain"]
     assert get_scenario("flap-storm").name == "flap-storm"
     with pytest.raises(ScenarioError, match="unknown scenario"):
         get_scenario("tc9")
@@ -93,6 +94,36 @@ def test_lossy_spine_false_flags_quick_to_detect_but_not_bfd():
                        "bgp-bfd", seed=0)
     assert bfd.false_positives == 0
     assert bfd.flaps == 0
+
+
+@pytest.mark.parametrize("stack", ["mtp", "bgp-bfd"])
+def test_incast_storm_reports_flow_level_blackhole(stack):
+    """The loaded scenarios carry a workload report: the TC1-style
+    failure inside incast-storm must surface as a flow-level blackhole
+    window while byte conservation holds."""
+    metrics = run_scenario(get_scenario("incast-storm"), two_pod_params(),
+                           stack, seed=0)
+    wl = metrics.workload
+    assert wl is not None
+    assert wl["flows"] == 600
+    assert wl["offered_bytes"] > 0
+    assert wl["delivered_bytes"] > 0
+    assert wl["max_conservation_error"] < 1e-6
+    assert wl["max_blackhole_us"] > 0
+
+
+@pytest.mark.parametrize("stack", ["mtp", "bgp-bfd"])
+def test_hotspot_drain_survives_with_conservation(stack):
+    """Skewed load on a draining fabric: flows may reroute or blackhole
+    while the agg is down, but the byte ledger must still balance."""
+    metrics = run_scenario(get_scenario("hotspot-drain"), two_pod_params(),
+                           stack, seed=0)
+    wl = metrics.workload
+    assert wl is not None
+    assert wl["offered_bytes"] > 0
+    assert wl["max_conservation_error"] < 1e-6
+    # goodput is positive: the drain never partitions the fabric
+    assert wl["goodput_bps"] > 0
 
 
 def test_drain_crash_and_restart_hit_the_same_agg():

@@ -36,8 +36,10 @@ def _entry_path(cache: ResultCache, key: str):
     return cache.root / key[:2] / f"{key}.json"
 
 
-def test_schema_is_3():
-    assert CACHE_SCHEMA == 3
+def test_schema_is_at_least_3():
+    # schema 3 introduced the topology-registry re-keying this file
+    # covers; later bumps (4: the workload engine) keep its guarantees
+    assert CACHE_SCHEMA >= 3
 
 
 def test_experiment_key_derives_from_topology_spec():

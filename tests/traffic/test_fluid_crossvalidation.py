@@ -1,0 +1,93 @@
+"""Cross-validation: the fluid engine's drop model against the
+per-packet TrafficSender on a plain two-host link.
+
+The fluid evaluator never sends frames — it predicts delivery from
+link impairments (``_expected_loss``) and max-min rates.  These tests
+hold that prediction to what the per-packet data path actually
+measures, on the simplest fabric there is: two hosts, one link."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.iputil.udp_service import UdpService
+from repro.net.impairment import ImpairmentProfile
+from repro.sim.units import SECOND
+from repro.stack.addresses import Ipv4Address
+from repro.traffic.generator import ReceiverAnalyzer, TrafficSender
+from repro.workload.engine import _expected_loss
+from repro.workload.fluid import FluidProblem, max_min_rates
+
+from tests.conftest import make_ip_pair
+
+DST = Ipv4Address.parse("10.0.0.2")
+
+
+def test_expected_loss_composition():
+    """The stationary drop model composes independent loss, corrupt
+    and the Gilbert-Elliott chain's bad-state fraction."""
+
+    class FakeImpairment:
+        def __init__(self, profile):
+            self.profile = profile
+
+    assert _expected_loss(None) == 0.0
+    assert _expected_loss(
+        FakeImpairment(ImpairmentProfile(loss=0.25))) == pytest.approx(0.25)
+    assert _expected_loss(
+        FakeImpairment(ImpairmentProfile(loss=0.1, corrupt=0.1))
+    ) == pytest.approx(1.0 - 0.9 * 0.9)
+    # GE chain: pi_bad = p / (p + r); drop = pi_bad * loss_bad
+    assert _expected_loss(
+        FakeImpairment(ImpairmentProfile(ge_p=0.01, ge_r=0.04,
+                                         ge_loss_bad=0.5))
+    ) == pytest.approx(0.2 * 0.5)
+
+
+def test_fluid_prediction_matches_per_packet_measurement(world):
+    """Fluid says: one flow alone on one link runs at line rate and
+    delivers a (1 - loss) fraction.  The per-packet sender must agree
+    within sampling noise."""
+    a, b, sa, sb = make_ip_pair(world)
+    ua, ub = UdpService(sa), UdpService(sb)
+    sender = TrafficSender(ua, DST, gap_us=100)
+    analyzer = ReceiverAnalyzer(ub)
+
+    # prime ARP on a clean link so address resolution cannot be lost
+    sender.start(count=1)
+    world.run(until=10_000)
+
+    link = a.interfaces["eth1"].link
+    profile = ImpairmentProfile(loss=0.25)
+    link.set_impairment(link.end_a, profile,
+                        world.rng.stream("crossvalidation-impair"))
+
+    sender2 = TrafficSender(ua, DST, gap_us=100, src_port=41000)
+    sender2.start(count=4000)
+    world.run(until=2 * SECOND)
+    report = analyzer.report(sender2)
+    assert report.sent == 4000
+
+    predicted_loss = _expected_loss(link.impairment(link.end_a))
+    assert predicted_loss == pytest.approx(0.25)
+    # binomial noise at n=4000: sigma ~ 0.0068, allow ~4 sigma
+    assert abs(report.loss_fraction - predicted_loss) < 0.03
+
+    # goodput polish: first-copy bytes over the rx window (the analyzer
+    # aggregates across flows, priming packet included)
+    assert report.bytes_delivered == report.received * 100
+    assert report.goodput_bps > 0
+
+    # the fluid solver side: one flow, one link -> the whole capacity
+    capacity = link.bandwidth_bps / 8.0
+    prob = FluidProblem(
+        capacity=np.array([capacity]),
+        flow_links=np.array([0], dtype=np.int64),
+        flow_ptr=np.array([0, 1], dtype=np.int64))
+    rate = max_min_rates(prob)
+    assert rate[0] == pytest.approx(capacity)
+    # delivered fraction the fluid settlement would book
+    fluid_delivered_fraction = 1.0 - predicted_loss
+    measured_fraction = report.received / report.sent
+    assert abs(measured_fraction - fluid_delivered_fraction) < 0.03

@@ -1,0 +1,126 @@
+"""Workload synthesis: matrix structure, determinism, arrival law."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim.rng import RngRegistry
+from repro.sim.units import MILLISECOND
+from repro.workload.spec import WorkloadError, WorkloadSpec
+from repro.workload.synth import synthesize
+
+ENDPOINTS = [
+    ("T-1", ["h1", "h2"]),
+    ("T-2", ["h3", "h4"]),
+    ("T-3", ["h5", "h6", "h7"]),
+    ("T-4", ["h8"]),
+]
+
+
+def synth(matrix="uniform", seed=0, **overrides):
+    spec = WorkloadSpec(name="t", matrix=matrix, flows=2000,
+                        duration_ms=100, **overrides)
+    return synthesize(spec, ENDPOINTS, RngRegistry(seed))
+
+
+def test_determinism_per_seed():
+    a, b = synth(seed=7), synth(seed=7)
+    for col in ("src", "dst", "size_bytes", "arrival_us", "tenant",
+                "src_port", "dst_port"):
+        assert np.array_equal(getattr(a, col), getattr(b, col)), col
+    c = synth(seed=8)
+    assert not np.array_equal(a.src_port, c.src_port)
+
+
+def test_layout_skips_empty_racks():
+    spec = WorkloadSpec(name="t", flows=10)
+    flows = synthesize(spec, [("T-1", ["h1"]), ("T-x", []),
+                              ("T-2", ["h2"])], RngRegistry(0))
+    assert flows.tors == ("T-1", "T-2")
+    assert flows.hosts == ("h1", "h2")
+
+
+def test_requires_two_populated_racks():
+    with pytest.raises(WorkloadError, match="at least 2 populated racks"):
+        synthesize(WorkloadSpec(name="t"), [("T-1", ["h1"]), ("T-2", [])],
+                   RngRegistry(0))
+
+
+def test_no_flow_stays_inside_its_rack():
+    """Every matrix kind crosses the fabric: src rack != dst rack."""
+    for matrix in ("permutation", "uniform", "hotspot", "incast",
+                   "all-to-all"):
+        flows = synth(matrix=matrix)
+        assert (flows.host_tor[flows.src]
+                != flows.host_tor[flows.dst]).all(), matrix
+
+
+def test_permutation_is_a_rack_derangement():
+    flows = synth(matrix="permutation")
+    src_rack = flows.host_tor[flows.src]
+    dst_rack = flows.host_tor[flows.dst]
+    mapping = {}
+    for s, d in zip(src_rack.tolist(), dst_rack.tolist()):
+        assert mapping.setdefault(s, d) == d  # functional: one dst rack
+        assert s != d
+    # a cycle over all racks: the dst racks are a permutation of srcs
+    assert len(set(mapping.values())) == len(mapping)
+
+
+def test_all_to_all_covers_every_ordered_pair():
+    flows = synth(matrix="all-to-all")
+    pairs = set(zip(flows.host_tor[flows.src].tolist(),
+                    flows.host_tor[flows.dst].tolist()))
+    n = len(flows.tors)
+    assert pairs == {(s, d) for s in range(n) for d in range(n) if s != d}
+
+
+def test_hotspot_concentrates_the_requested_fraction():
+    flows = synth(matrix="hotspot", hotspot_fraction=0.5)
+    dst_rack = flows.host_tor[flows.dst]
+    counts = np.bincount(dst_rack, minlength=len(flows.tors))
+    hot_share = counts.max() / len(flows)
+    # ~50% directed + the uniform background landing there by chance
+    assert 0.45 < hot_share < 0.75
+
+
+def test_incast_groups_share_sink_and_start_time():
+    flows = synth(matrix="incast", incast_fanin=16)
+    group = np.arange(len(flows)) // 16
+    for g in range(int(group.max()) + 1):
+        members = np.flatnonzero(group == g)
+        assert len(set(flows.dst[members].tolist())) == 1  # one sink host
+        assert len(set(flows.arrival_us[members].tolist())) == 1  # sync
+    # senders never sit in the sink's rack
+    assert (flows.host_tor[flows.src] != flows.host_tor[flows.dst]).all()
+
+
+def test_sizes_are_an_elephant_mice_mix():
+    flows = synth(elephant_fraction=0.1, mice_bytes=20_000,
+                  elephant_bytes=10_000_000)
+    sizes = flows.size_bytes
+    assert (sizes >= 1).all()
+    # jitter is x2 at most, so the classes cannot overlap
+    mice = sizes <= 40_000
+    elephants = sizes >= 5_000_000
+    assert mice.sum() + elephants.sum() == len(sizes)
+    assert 0.05 < elephants.mean() < 0.16
+
+
+def test_arrivals_sorted_per_tenant_within_window():
+    flows = synth()
+    window = flows.spec.duration_ms * MILLISECOND
+    assert (flows.arrival_us >= 0).all()
+    assert (flows.arrival_us < window).all()
+    for t in range(flows.spec.tenants):
+        arr = flows.arrival_us[flows.tenant == t]
+        assert (np.diff(arr) >= 0).all()
+    # tenant id shows in the service port
+    assert np.array_equal(flows.dst_port, 7700 + flows.tenant)
+
+
+def test_offered_bytes_matches_sizes():
+    flows = synth()
+    assert flows.offered_bytes == int(flows.size_bytes.sum())
+    assert len(flows) == 2000
