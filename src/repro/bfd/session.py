@@ -16,6 +16,7 @@ from repro.sim.units import MILLISECOND
 from repro.stack.addresses import Ipv4Address
 from repro.net.interface import Interface
 from repro.iputil.udp_service import UdpService
+from repro.liveness import NeighborMonitor
 from repro.bfd.messages import BFD_PORT, BfdControlPacket, BfdState
 
 # The paper's configuration (section VI.F): 100 ms hello, multiplier 3.
@@ -49,6 +50,7 @@ class BfdSession:
         discriminator: int,
         timers: BfdTimers,
         on_state_change: Optional[StateCallback] = None,
+        monitor: Optional[NeighborMonitor] = None,
     ) -> None:
         self.manager = manager
         self.node = manager.node
@@ -59,6 +61,9 @@ class BfdSession:
         self.your_discriminator = 0
         self.timers = timers
         self.on_state_change = on_state_change
+        # adaptive liveness (DESIGN §14): widens the detection time on a
+        # measured-lossy link and carries the gray-failure verdict
+        self.monitor = monitor
         self.state = BfdState.DOWN
         self.packets_sent = 0
         self.packets_received = 0
@@ -169,10 +174,23 @@ class BfdSession:
         # detected as a failure.
         if self.state in (BfdState.INIT, BfdState.UP):
             interval = max(packet.desired_min_tx_us, self.timers.tx_interval_us)
-            self._detect_timer.restart(packet.detect_mult * interval)
+            detection = packet.detect_mult * interval
+            if self.monitor is not None:
+                # Feed the estimator only at the negotiated fast rate —
+                # counting slow-rate (1 s) bring-up gaps against the
+                # 100 ms period would fabricate misses.
+                if interval == self.timers.tx_interval_us:
+                    self.monitor.observe(self.sim.now, period_us=interval)
+                    detection = self.monitor.detection_interval_us(
+                        base_us=detection, period_us=interval)
+                else:
+                    self.monitor.interrupt()
+            self._detect_timer.restart(detection)
 
     def _on_detect_expired(self) -> None:
         self.node.log("bfd.detect", f"{self.peer}: detection time expired")
+        if self.monitor is not None:
+            self.monitor.interrupt()
         self._set_state(BfdState.DOWN)
 
 
@@ -194,11 +212,13 @@ class BfdManager:
         local: Ipv4Address,
         timers: BfdTimers = BfdTimers(),
         on_state_change: Optional[StateCallback] = None,
+        monitor: Optional[NeighborMonitor] = None,
     ) -> BfdSession:
         if peer in self.sessions:
             raise ValueError(f"{self.node.name}: BFD session to {peer} exists")
         session = BfdSession(
-            self, peer, local, self._next_discriminator, timers, on_state_change
+            self, peer, local, self._next_discriminator, timers,
+            on_state_change, monitor=monitor,
         )
         self._next_discriminator += 1
         self.sessions[peer] = session

@@ -14,6 +14,7 @@ from typing import TYPE_CHECKING, Optional
 from repro.sim.units import MILLISECOND, SECOND
 from repro.stack.addresses import Ipv4Address, Ipv4Network
 from repro.bfd.session import BfdTimers
+from repro.liveness import LivenessConfig
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.topology import Topology
@@ -60,6 +61,10 @@ class BgpConfig:
     multipath: bool = True  # `bestpath as-path multipath-relax`
     timers: BgpTimers = field(default_factory=BgpTimers)
     bfd_timers: BfdTimers = field(default_factory=BfdTimers)
+    # adaptive liveness layer (DESIGN §14): session flap damping plus,
+    # with BFD, adaptive detection and gray-failure verdicts.  None =
+    # plain RFC 7938 behavior.
+    liveness: Optional[LivenessConfig] = None
 
     def config_lines(self) -> list[str]:
         """Render the FRR-style configuration (Listing 1) — the artifact

@@ -34,6 +34,7 @@ from repro.iputil.stack import IpStack
 from repro.iputil.tcp import TcpConnection, TcpService
 from repro.routing.table import NextHop, Route
 from repro.bfd.session import BfdManager, BfdSession
+from repro.liveness import FlapDamper, NeighborMonitor
 from repro.bgp.config import BgpConfig, BgpNeighborConfig
 from repro.bgp.messages import (
     BGP_PORT,
@@ -87,6 +88,14 @@ class BgpPeer:
         self.sessions_established = 0
         sim = speaker.node.sim
         timers = speaker.config.timers
+        # session-level flap damping (DESIGN §14): each session loss adds
+        # penalty; while suppressed, neither side of this peer re-forms
+        # the session (active connects and passive accepts both gate)
+        liveness = speaker.config.liveness
+        self.damper: Optional[FlapDamper] = None
+        if liveness is not None and liveness.damping:
+            self.damper = FlapDamper(liveness, sim.now)
+        self._suppress_flagged = False
         self.hold_timer = Timer(sim, timers.hold_us, self._on_hold_expired,
                                 name=f"hold-{cfg.peer_ip}")
         self.keepalive_timer = PeriodicTimer(
@@ -121,8 +130,33 @@ class BgpPeer:
         if self.is_active_opener:
             self._retry_connect()
 
+    def _damping_gate(self) -> bool:
+        """True while flap damping withholds session (re-)formation.
+        Emits the edge-triggered ``suppress``/``reuse`` trace events."""
+        if self.damper is None:
+            return False
+        now = self.speaker.node.sim.now
+        if self.damper.suppressed(now):
+            if not self._suppress_flagged:
+                self._suppress_flagged = True
+                eta_ms = self.damper.reuse_eta_us(now) // 1000
+                self.speaker.node.log(
+                    "bgp.damping",
+                    f"{self.cfg.peer_ip} suppress (reuse in ~{eta_ms} ms)")
+            return True
+        if self._suppress_flagged:
+            self._suppress_flagged = False
+            self.speaker.node.log("bgp.damping", f"{self.cfg.peer_ip} reuse")
+        return False
+
     def _retry_connect(self) -> None:
         if self.state is not PeerState.IDLE:
+            return
+        if self._damping_gate():
+            # re-check once the penalty has decayed to the reuse level
+            eta = self.damper.reuse_eta_us(self.speaker.node.sim.now)
+            retry = self.speaker.config.timers.connect_retry_us
+            self.retry_timer.start(max(retry, eta + 1000))
             return
         iface = self.speaker.node.interfaces[self.cfg.interface]
         if not iface.admin_up:
@@ -136,6 +170,9 @@ class BgpPeer:
 
     def accept_connection(self, conn: TcpConnection) -> None:
         """Incoming TCP connection from this neighbor."""
+        if self._damping_gate():
+            conn.abort()
+            return
         if self.conn is not None:
             self.conn.on_close = None
             self.conn.abort()
@@ -265,9 +302,24 @@ class BgpPeer:
         if was_established:
             self.speaker.node.log("bgp.session",
                                   f"{self.cfg.peer_ip} down ({reason})")
+            if self.damper is not None:
+                self.damper.record_flap(self.speaker.node.sim.now)
             self.speaker.on_peer_down(self)
         if self.is_active_opener:
             self.retry_timer.start()
+
+    def clear_damping(self) -> None:
+        """The underlying link was repaired (impairment cleared): drop
+        the penalty accumulated against the fault so the session
+        re-forms on the normal retry schedule."""
+        if self.damper is None:
+            return
+        self.damper.reset()
+        if self.bfd_session is not None and self.bfd_session.monitor is not None:
+            self.bfd_session.monitor.clear_history()
+        if self._suppress_flagged:
+            self._suppress_flagged = False
+            self.speaker.node.log("bgp.damping", f"{self.cfg.peer_ip} reuse")
 
     # ------------------------------------------------------------------
     # adj-rib-out
@@ -368,6 +420,8 @@ class BgpSpeaker:
         tcp.listen(BGP_PORT, self._on_accept)
         node.on_interface_down(self._on_iface_down)
         node.on_interface_up(self._on_iface_up)
+        if config.liveness is not None:
+            node.on_impairment_cleared(self._on_impairment_cleared)
         node.bgp = self
         for nbr in config.neighbors:
             peer = BgpPeer(self, nbr)
@@ -379,9 +433,17 @@ class BgpSpeaker:
                         f"{node.name}: neighbor {nbr.peer_ip} wants BFD but "
                         "no BfdManager supplied"
                     )
+                monitor = None
+                if config.liveness is not None:
+                    monitor = NeighborMonitor(
+                        config.liveness,
+                        period_us=config.bfd_timers.tx_interval_us,
+                        base_detection_us=config.bfd_timers.detection_time_us,
+                        now_us=node.sim.now,
+                    )
                 peer.bfd_session = bfd.create_session(
                     nbr.peer_ip, peer.local_ip, config.bfd_timers,
-                    on_state_change=self._on_bfd_state,
+                    on_state_change=self._on_bfd_state, monitor=monitor,
                 )
         # local networks enter the Loc-RIB before any session starts
         for network in config.networks:
@@ -433,6 +495,22 @@ class BgpSpeaker:
         if peer is not None and peer.established:
             self.node.log("bgp.bfd", f"{session.peer} BFD down -> session down")
             peer.down("bfd")
+
+    def _on_impairment_cleared(self, iface: Interface) -> None:
+        for peer in self._iface_to_peers.get(iface.name, ()):
+            peer.clear_damping()
+
+    def iface_link_degraded(self, iface_name: str) -> bool:
+        """Gray-failure verdict for one next-hop interface: True when a
+        BFD monitor on it measures loss at or above the degrade
+        threshold.  ECMP depreferences (but does not withdraw) such
+        next hops via the routing table's ``nexthop_bias``."""
+        for peer in self._iface_to_peers.get(iface_name, ()):
+            session = peer.bfd_session
+            if (session is not None and session.monitor is not None
+                    and session.monitor.degraded):
+                return True
+        return False
 
     # ------------------------------------------------------------------
     # route processing

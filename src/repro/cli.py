@@ -584,6 +584,8 @@ def cmd_chaos(args) -> int:
     from repro.harness.chaos import (
         DEFAULT_RATES,
         clean_fabric_violations,
+        encode_chaos_outcome,
+        false_positive_thresholds,
         run_chaos_suite,
         summarize,
     )
@@ -607,15 +609,22 @@ def cmd_chaos(args) -> int:
     elapsed = time.perf_counter() - t0
     results = [o.result for o in outcomes if o is not None]
     describe = sup.describe() if sup is not None else report.describe()
-    print(summarize(results))
-    print(f"\n{len(outcomes)} chaos points ({describe}), "
-          f"{elapsed:.2f} s wall clock")
-    if args.digests:
-        for o in outcomes:
-            if o is None:
-                continue
-            print(f"  {o.digest[:16]}  {o.result.stack} "
-                  f"loss={o.result.loss:.2f}")
+    if args.json:
+        print(json.dumps({
+            "points": [encode_chaos_outcome(o) for o in outcomes
+                       if o is not None],
+            "thresholds": false_positive_thresholds(results),
+        }, indent=2, sort_keys=True))
+    else:
+        print(summarize(results))
+        print(f"\n{len(outcomes)} chaos points ({describe}), "
+              f"{elapsed:.2f} s wall clock")
+        if args.digests:
+            for o in outcomes:
+                if o is None:
+                    continue
+                print(f"  {o.digest[:16]}  {o.result.stack} "
+                      f"loss={o.result.loss:.2f}")
     infra = _campaign_epilogue(args, report,
                                sup.records if sup is not None else [])
     if infra != EXIT_OK:
@@ -624,6 +633,14 @@ def cmd_chaos(args) -> int:
     for r in violations:
         print(f"error: {r.stack} false-flagged {r.false_positives} times "
               f"on a CLEAN fabric (loss 0.0)", file=sys.stderr)
+    if args.require_zero_fp:
+        flagged = [r for r in results if r.false_positives > 0]
+        for r in flagged:
+            print(f"error: {r.stack} reported {r.false_positives} false "
+                  f"positives at loss {r.loss:.2f} "
+                  f"(--require-zero-fp)", file=sys.stderr)
+        if flagged:
+            return EXIT_FINDINGS
     return EXIT_FINDINGS if violations else EXIT_OK
 
 
@@ -840,6 +857,14 @@ def build_parser() -> argparse.ArgumentParser:
                          help="goodput probe packets (0 disables the probe)")
     p_chaos.add_argument("--digests", action="store_true",
                          help="print each point's run digest")
+    p_chaos.add_argument("--json", action="store_true",
+                         help="emit machine-readable results (per-point "
+                              "payloads incl. suppression/MTTR/"
+                              "availability, plus FP thresholds)")
+    p_chaos.add_argument("--require-zero-fp", action="store_true",
+                         help="exit non-zero if ANY grid point reports a "
+                              "false positive (not just the clean-fabric "
+                              "guard)")
     _add_workload_args(p_chaos)
     _add_fanout_args(p_chaos)
     _add_supervisor_args(p_chaos)

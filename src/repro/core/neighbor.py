@@ -9,6 +9,13 @@ The paper's section IV.B:
   back after three *consecutive* hellos (gaps under the dead interval),
   which dampens a toggling interface the way BGP needs route-flap
   damping for.
+
+With an attached :class:`~repro.liveness.NeighborMonitor` (the
+``mtp-adaptive`` stack) two extra behaviors kick in: the dead interval
+widens on a measured-lossy link (Quick-to-Detect keeps the 100 ms bound
+only where the link is clean enough to deserve it), and a neighbor that
+keeps flapping is held in quarantine past Slow-to-Accept until its
+damping penalty decays to the reuse threshold.
 """
 
 from __future__ import annotations
@@ -19,6 +26,7 @@ from typing import Callable, Optional
 from repro.sim.engine import Simulator
 from repro.sim.timers import Timer
 from repro.core.config import MtpTimers
+from repro.liveness import NeighborMonitor
 
 
 class NeighborState(Enum):
@@ -39,17 +47,22 @@ class PortNeighbor:
         timers: MtpTimers,
         on_up: Callable[["PortNeighbor"], None],
         on_down: Callable[["PortNeighbor", str], None],
+        monitor: Optional[NeighborMonitor] = None,
+        on_damp: Optional[Callable[["PortNeighbor", str], None]] = None,
     ) -> None:
         self.sim = sim
         self.port = port
         self.timers = timers
         self.on_up = on_up
         self.on_down = on_down
+        self.monitor = monitor
+        self.on_damp = on_damp
         self.state = NeighborState.UNKNOWN
         self.tier: Optional[int] = None
         self._consecutive = 0
         self._last_rx: Optional[int] = None
         self.times_died = 0
+        self._suppress_flagged = False
         self._dead_timer = Timer(sim, timers.dead_us, self._on_dead,
                                  name=f"mtp-dead-{port}")
 
@@ -61,39 +74,59 @@ class PortNeighbor:
     def __repr__(self) -> str:
         return f"<PortNeighbor {self.port} {self.state.value} tier={self.tier}>"
 
+    def _dead_interval_us(self) -> int:
+        if self.monitor is None:
+            return self.timers.dead_us
+        return self.monitor.detection_interval_us(self.timers.dead_us)
+
     # ------------------------------------------------------------------
     def saw_frame(self, tier: Optional[int] = None) -> None:
         """Any MR-MTP frame from the peer is a liveness proof."""
         now = self.sim.now
+        if self.monitor is not None:
+            self.monitor.observe(now)
         if tier is not None:
             self.tier = tier
         if self.state is NeighborState.UNKNOWN:
             # initial discovery needs the tier (a full hello) before the
             # port direction is known
             if self.tier is not None:
-                self._accept()
+                self._try_accept()
         elif self.state is NeighborState.UP:
-            self._dead_timer.restart()
+            self._dead_timer.restart(self._dead_interval_us())
         else:
             # DEAD or PROBATION: Slow-to-Accept counting.  A gap larger
             # than the dead interval breaks the consecutive run.
             if (
                 self._last_rx is not None
-                and now - self._last_rx > self.timers.dead_us
+                and now - self._last_rx > self._dead_interval_us()
             ):
                 self._consecutive = 0
             self._consecutive += 1
             self.state = NeighborState.PROBATION
             # probation decays back to DEAD when the hellos stop again
-            self._dead_timer.restart()
+            self._dead_timer.restart(self._dead_interval_us())
             if self._consecutive >= self.timers.accept_hellos and self.tier is not None:
-                self._accept()
+                self._try_accept()
         self._last_rx = now
+
+    def _try_accept(self) -> None:
+        """Slow-to-Accept is satisfied; damping may still withhold."""
+        if self.monitor is not None and self.monitor.suppressed(self.sim.now):
+            if not self._suppress_flagged and self.on_damp is not None:
+                self._suppress_flagged = True
+                self.on_damp(self, "suppress")
+            return
+        if self._suppress_flagged:
+            self._suppress_flagged = False
+            if self.on_damp is not None:
+                self.on_damp(self, "reuse")
+        self._accept()
 
     def _accept(self) -> None:
         self.state = NeighborState.UP
         self._consecutive = 0
-        self._dead_timer.restart()
+        self._dead_timer.restart(self._dead_interval_us())
         self.on_up(self)
 
     def _on_dead(self) -> None:
@@ -117,7 +150,23 @@ class PortNeighbor:
         self.times_died += 1
         self._consecutive = 0
         self._dead_timer.stop()
+        if self.monitor is not None:
+            self.monitor.interrupt()
+            self.monitor.record_flap(self.sim.now)
         self.on_down(self, reason)
+
+    def clear_damping(self) -> None:
+        """The underlying link was repaired (impairment cleared): drop
+        the accumulated penalty and measured loss so re-acceptance is
+        governed by Slow-to-Accept alone, not a stale suppression."""
+        if self.monitor is None:
+            return
+        was_suppressed = self._suppress_flagged
+        self.monitor.clear_history()
+        if was_suppressed:
+            self._suppress_flagged = False
+            if self.on_damp is not None:
+                self.on_damp(self, "reuse")
 
     def stop(self) -> None:
         self._dead_timer.stop()

@@ -57,6 +57,7 @@ from repro.core.messages import (
 from repro.core.neighbor import NeighborState, PortNeighbor
 from repro.core.tables import VidTable
 from repro.core.vid import ThirdByteDerivation, Vid
+from repro.liveness import NeighborMonitor, resolve_liveness
 
 # Keepalives carry no fields; one immutable instance serves every port of
 # every router (flyweight — the steady state sends one per hello interval
@@ -89,6 +90,7 @@ class MtpNode:
         salt: int = 0,
         rng=None,
         per_packet_spray: bool = False,
+        liveness=None,
     ) -> None:
         self.node = node
         self.sim = node.sim
@@ -99,6 +101,9 @@ class MtpNode:
         # load but reorders flows — the trade-off the hash avoids.
         self.per_packet_spray = per_packet_spray
         self._spray_counter = 0
+        # adaptive liveness layer (DESIGN §14): None = the paper's fixed
+        # Quick-to-Detect timers, byte-identical baseline behavior
+        self.liveness = resolve_liveness(liveness)
         if timers.jitter > 0.0 and rng is None:
             raise ValueError(f"{node.name}: timing jitter requires an rng")
         self.rng = rng
@@ -141,6 +146,8 @@ class MtpNode:
         node.register_handler(ETHERTYPE_MTP, self._on_frame)
         node.on_interface_down(self._on_iface_down)
         node.on_interface_up(self._on_iface_up)
+        if self.liveness is not None:
+            node.on_impairment_cleared(self._on_impairment_cleared)
         node.mtp = self
         if stack is not None:
             stack.intercept = self._intercept_ip
@@ -165,9 +172,21 @@ class MtpNode:
         for iface in self.node.interfaces.values():
             if iface.name in self._excluded or not iface.cabled:
                 continue
+            monitor = None
+            if self.liveness is not None:
+                # The arrival slot is hello_us, but keepalive suppression
+                # lets a sender stay silent for one extra hello after any
+                # frame — slack_periods=1 keeps those legal 2x-hello gaps
+                # from reading as phantom loss.
+                monitor = NeighborMonitor(
+                    self.liveness, period_us=self.timers.hello_us,
+                    base_detection_us=self.timers.dead_us,
+                    now_us=self.sim.now, slack_periods=1,
+                )
             self.neighbors[iface.name] = PortNeighbor(
                 self.sim, iface.name, self.timers,
                 on_up=self._on_neighbor_up, on_down=self._on_neighbor_down,
+                monitor=monitor, on_damp=self._on_neighbor_damped,
             )
             timer = PeriodicTimer(
                 self.sim, self.timers.hello_us,
@@ -436,6 +455,16 @@ class MtpNode:
             self.table.clear_default_mark(port)
         self._recompute_default_state()
 
+    def _on_neighbor_damped(self, nbr: PortNeighbor, kind: str) -> None:
+        """Flap damping quarantined the neighbor past Slow-to-Accept
+        (``suppress``) or released it (``reuse``)."""
+        if kind == "suppress":
+            eta_ms = nbr.monitor.reuse_eta_us(self.sim.now) // 1000
+            self.node.log("mtp.damping",
+                          f"{nbr.port} suppress (reuse in ~{eta_ms} ms)")
+        else:
+            self.node.log("mtp.damping", f"{nbr.port} reuse")
+
     def _on_iface_down(self, iface: Interface) -> None:
         nbr = self.neighbors.get(iface.name)
         if nbr is not None:
@@ -444,6 +473,13 @@ class MtpNode:
     def _on_iface_up(self, iface: Interface) -> None:
         # hellos resume on the next tick; Slow-to-Accept gates re-use
         pass
+
+    def _on_impairment_cleared(self, iface: Interface) -> None:
+        """The harness repaired the physical link: damping state built
+        up against the impairment no longer reflects the link."""
+        nbr = self.neighbors.get(iface.name)
+        if nbr is not None:
+            nbr.clear_damping()
 
     # ------------------------------------------------------------------
     # failure updates
@@ -656,11 +692,28 @@ class MtpNode:
             if self._port_usable(p) and p != ingress_port
         ]
         if down:
-            return down
-        return [
+            return self._healthy_first(down)
+        return self._healthy_first([
             p for p in self.up_ports()
             if not self.table.is_marked(p, dst_root) and p != ingress_port
+        ])
+
+    def _healthy_first(self, ports: list[str]) -> list[str]:
+        """Gray-failure depreference: when some candidates are measured
+        degraded and at least one is healthy, hash only over the healthy
+        subset — the degraded port stays installed (no withdrawal, no
+        churn) but stops receiving new flows.  With liveness off, or all
+        candidates equally (un)healthy, the set is returned unchanged."""
+        if self.liveness is None or len(ports) < 2:
+            return ports
+        healthy = [
+            p for p in ports
+            if not (self.neighbors[p].monitor is not None
+                    and self.neighbors[p].monitor.degraded)
         ]
+        if healthy and len(healthy) < len(ports):
+            return healthy
+        return ports
 
     def _balance(self, flow: FlowKey, n_choices: int) -> int:
         if self.per_packet_spray:

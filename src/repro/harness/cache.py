@@ -38,7 +38,10 @@ from repro.harness.digest import canonical_json, payload_digest
 #    "workload" report (scenario schema 2 -> 3) and WorkloadSpec joined
 #    the key space ("workload-run" tasks, workload components on sweep
 #    and chaos keys); schema-3 entries miss cleanly.
-CACHE_SCHEMA = 4
+# 5: adaptive liveness layer — chaos payloads gained suppression / MTTR
+#    / availability fields and liveness joined stack parameter tuples;
+#    schema-4 entries miss cleanly.
+CACHE_SCHEMA = 5
 
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 

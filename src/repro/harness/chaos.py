@@ -111,6 +111,10 @@ class ChaosResult:
     route_churn: int = 0
     sent: int = 0
     received: int = 0
+    suppressions: int = 0              # damping suppress events
+    suppression_us: int = 0            # total suppressed adjacency-time
+    mttr_us: int = -1                  # mean down-to-up latency (-1: none)
+    availability: float = 1.0          # uptime of transitioned adjacencies
     workload: Optional[dict] = None    # WorkloadReport payload, if loaded
 
     @property
@@ -179,7 +183,10 @@ def run_chaos_point(spec: ChaosPointSpec) -> ChaosOutcome:
         stack=spec.stack.name, loss=spec.loss, seed=spec.seed,
         window_ms=spec.window_ms, impaired_link=(tor_name, agg_name),
         detections=stats.detections,
-        false_positives=stats.false_positives, flaps=stats.flaps)
+        false_positives=stats.false_positives, flaps=stats.flaps,
+        suppressions=stats.suppressions,
+        suppression_us=stats.suppression_us,
+        mttr_us=stats.mttr_us, availability=stats.availability)
     if spec.traffic_count > 0:
         src = topo.first_server_of(tor_name)
         dst = topo.first_server_of(topo.all_tors()[-1])
@@ -241,6 +248,10 @@ def _result_payload(result: ChaosResult) -> dict:
         "route_churn": result.route_churn,
         "sent": result.sent,
         "received": result.received,
+        "suppressions": result.suppressions,
+        "suppression_us": result.suppression_us,
+        "mttr_us": result.mttr_us,
+        "availability": result.availability,
         **({"workload": result.workload} if result.workload is not None
            else {}),
     }
@@ -263,6 +274,10 @@ def decode_chaos_outcome(payload: dict) -> ChaosOutcome:
         route_churn=payload["route_churn"],
         sent=payload["sent"],
         received=payload["received"],
+        suppressions=payload["suppressions"],
+        suppression_us=payload["suppression_us"],
+        mttr_us=payload["mttr_us"],
+        availability=payload["availability"],
         workload=payload.get("workload"),
     )
     return ChaosOutcome(result=result, digest=payload["digest"])
@@ -367,11 +382,15 @@ def summarize(results: Sequence[ChaosResult]) -> str:
     from repro.harness.report import render_table
 
     rows = [[f"{r.loss:.2f}", r.stack, str(r.false_positives),
-             str(r.flaps), str(r.route_churn), f"{r.goodput:.3f}"]
+             str(r.flaps), str(r.suppressions),
+             ("-" if r.mttr_us < 0 else f"{r.mttr_us / 1000:.0f}"),
+             f"{r.availability:.4f}",
+             str(r.route_churn), f"{r.goodput:.3f}"]
             for r in sorted(results, key=lambda r: (r.stack, r.loss))]
     table = render_table(
         "chaos: false positives vs loss rate",
-        ["loss", "stack", "false-pos", "flaps", "churn", "goodput"],
+        ["loss", "stack", "false-pos", "flaps", "suppr", "mttr-ms",
+         "avail", "churn", "goodput"],
         rows,
         note="false-pos = timer-based down declarations with no fault "
              "injected; the link is lossy, never down",

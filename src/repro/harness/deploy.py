@@ -23,6 +23,7 @@ from repro.bgp.speaker import BgpSpeaker
 from repro.core.config import MtpGlobalConfig, MtpTimers
 from repro.core.protocol import MtpNode
 from repro.core.vid import WideDerivation
+from repro.liveness import LivenessConfig, resolve_liveness
 from repro.stacks.base import ConfigCost, TableStats
 from repro.topology import TIER_SERVER, Topology
 
@@ -88,6 +89,7 @@ class BgpDeployment:
     servers: dict[str, ServerHost]
     uses_bfd: bool
     timers: BgpTimers = field(default_factory=BgpTimers)
+    liveness: Optional[LivenessConfig] = None
 
     def start(self) -> None:
         for speaker in self.speakers.values():
@@ -136,7 +138,10 @@ class BgpDeployment:
 
     def classify_liveness(self, record) -> Optional[str]:
         """bgp.session transitions: hold-timer / BFD / TCP-give-up downs
-        are timer detections, interface-down is the local admin event."""
+        are timer detections, interface-down is the local admin event.
+        bgp.damping carries the flap-damping suppress/reuse edges."""
+        if record.category == "bgp.damping":
+            return "suppress" if " suppress " in record.message else "reuse"
         if record.category != "bgp.session":
             return None
         message = record.message
@@ -176,7 +181,7 @@ class BgpDeployment:
         if route is None:
             return (table.salt, False, ())
         return (table.salt, False,
-                tuple(nh.interface for nh in route.nexthops))
+                tuple(nh.interface for nh in table.usable_nexthops(route)))
 
     def trace_fabric_path(self, path: list[str], dst_ip: Ipv4Address,
                           dst_host: str, flow: FlowKey) -> list[str]:
@@ -203,12 +208,14 @@ def deploy_bgp(
     timers: Optional[BgpTimers] = None,
     bfd_timers: Optional[BfdTimers] = None,
     multipath: bool = True,
+    liveness=None,
 ) -> BgpDeployment:
     """Deploy RFC 7938 eBGP (+ECMP, optionally +BFD) on every router."""
     if timers is None:
         timers = BgpTimers()
     if bfd_timers is None:
         bfd_timers = BfdTimers()
+    liveness_cfg = resolve_liveness(liveness)
     plan = rfc7938_asn_plan(topo)
     speakers: dict[str, BgpSpeaker] = {}
     stacks: dict[str, IpStack] = {}
@@ -246,15 +253,21 @@ def deploy_bgp(
         config = BgpConfig(
             asn=plan[name], router_id=router_id, neighbors=neighbors,
             networks=networks, multipath=multipath, timers=timers,
-            bfd_timers=bfd_timers,
+            bfd_timers=bfd_timers, liveness=liveness_cfg,
         )
-        speakers[name] = BgpSpeaker(
+        speaker = BgpSpeaker(
             node, config, stack, tcp, bfd_mgr,
             rng=topo.world.rng.stream(f"bgp-{name}"),
         )
+        speakers[name] = speaker
+        if liveness_cfg is not None and bfd:
+            # gray-failure depreference: ECMP avoids next hops whose BFD
+            # monitor measures degrade-level loss (route stays installed)
+            stack.table.nexthop_bias = speaker.iface_link_degraded
     servers = deploy_servers(topo)
     return BgpDeployment(topo=topo, speakers=speakers, stacks=stacks,
-                         servers=servers, uses_bfd=bfd, timers=timers)
+                         servers=servers, uses_bfd=bfd, timers=timers,
+                         liveness=liveness_cfg)
 
 
 # ----------------------------------------------------------------------
@@ -268,6 +281,7 @@ class MtpDeployment:
     servers: dict[str, ServerHost]
     config: MtpGlobalConfig
     timers: MtpTimers = field(default_factory=MtpTimers)
+    liveness: Optional[LivenessConfig] = None
 
     def start(self) -> None:
         for mtp in self.mtp_nodes.values():
@@ -299,11 +313,18 @@ class MtpDeployment:
         return self.timers.hello_us
 
     def detection_bound_us(self) -> int:
+        if self.liveness is not None and self.liveness.adaptive_timers:
+            # adaptive widening: detection can legitimately take up to
+            # the envelope ceiling on a measured-lossy link
+            return int(self.timers.dead_us * self.liveness.max_scale)
         return self.timers.dead_us
 
     def classify_liveness(self, record) -> Optional[str]:
         """mtp.neighbor transitions: dead-timer downs are the
-        Quick-to-Detect declarations, local-port-down the admin event."""
+        Quick-to-Detect declarations, local-port-down the admin event.
+        mtp.damping carries the flap-damping suppress/reuse edges."""
+        if record.category == "mtp.damping":
+            return "suppress" if " suppress " in record.message else "reuse"
         if record.category != "mtp.neighbor":
             return None
         message = record.message
@@ -371,10 +392,12 @@ def deploy_mtp(
     topo: Topology,
     timers: Optional[MtpTimers] = None,
     per_packet_spray: bool = False,
+    liveness=None,
 ) -> MtpDeployment:
     """Deploy MR-MTP on every router (ToRs keep a rack-side IP shim)."""
     if timers is None:
         timers = MtpTimers()
+    liveness_cfg = resolve_liveness(liveness)
     config = MtpGlobalConfig.from_topology(topo, timers)
     derivation = WideDerivation()
     mtp_nodes: dict[str, MtpNode] = {}
@@ -397,8 +420,10 @@ def deploy_mtp(
             salt=index + 1,
             rng=topo.world.rng.stream(f"mtp-{name}"),
             per_packet_spray=per_packet_spray,
+            liveness=liveness_cfg,
         )
     servers = deploy_servers(topo)
     return MtpDeployment(topo=topo, mtp_nodes=mtp_nodes,
                          tor_stacks=tor_stacks, servers=servers,
-                         config=config, timers=timers)
+                         config=config, timers=timers,
+                         liveness=liveness_cfg)

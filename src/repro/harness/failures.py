@@ -181,6 +181,14 @@ class FailureInjector:
             time=self.world.sim.now, kind="clear"))
         self.world.trace.emit(node_name, "fail.impair",
                               f"{iface_name} cleared ({direction})")
+        # tell both endpoints the link is repaired, whichever direction
+        # was impaired: liveness layers drop damping penalties built up
+        # against the fault so the link re-converges without a stale
+        # suppression window
+        iface = self.world.nodes[node_name].interfaces[iface_name]
+        peer = iface.link.other_end(iface)
+        iface.node.impairment_cleared(iface)
+        peer.node.impairment_cleared(peer)
 
     # ------------------------------------------------------------------
     # extended failure cases (paper section IX future work)

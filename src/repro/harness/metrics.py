@@ -80,6 +80,8 @@ def route_churn(before: dict[str, int], tables: dict[str, object]) -> int:
 LIVENESS_DETECTED = "down-detected"   # a liveness timer declared the peer dead
 LIVENESS_ADMIN = "down-admin"         # local link-down event (real fault)
 LIVENESS_UP = "up"                    # adjacency/session (re-)established
+LIVENESS_SUPPRESS = "suppress"        # flap damping quarantined the adjacency
+LIVENESS_REUSE = "reuse"              # flap damping released the adjacency
 
 
 @dataclass
@@ -91,16 +93,45 @@ class LivenessStats:
     detector fired on a healthy-but-lossy neighbour.  ``flaps`` counts
     up-transitions after the window opened: every one of them is a
     down/up cycle the control plane paid reconvergence for.
+
+    Per-adjacency down and suppression episodes are paired up by
+    ``(node, adjacency)`` so the window also yields repair economics:
+    ``mttr_us`` (mean down-to-up latency of *recovered* episodes),
+    ``availability`` (uptime fraction of the adjacencies that
+    transitioned during the window — idle adjacencies are neither
+    penalized nor credited), and ``suppression_us`` (total time flap
+    damping held adjacencies out of service).
     """
 
     detections: int = 0        # timer-based down declarations
     admin_downs: int = 0       # local link-down declarations
     ups: int = 0               # (re-)establishments
     false_positives: int = 0
+    suppressions: int = 0      # damping suppress events
+    reuses: int = 0            # damping reuse (release) events
+    suppression_us: int = 0    # total suppressed adjacency-time
+    downtime_us: int = 0       # total down adjacency-time
+    recovered: int = 0         # down episodes that re-established
+    recovery_us: int = 0       # summed down-to-up latency of those
+    adjacencies: int = 0       # distinct (node, adjacency) keys seen
+    window_us: int = 0         # observation span (0 = open-ended)
 
     @property
     def flaps(self) -> int:
         return self.ups
+
+    @property
+    def mttr_us(self) -> int:
+        """Mean time to recovery over recovered episodes (-1 if none)."""
+        return self.recovery_us // self.recovered if self.recovered else -1
+
+    @property
+    def availability(self) -> float:
+        """Uptime fraction of the adjacencies that transitioned."""
+        span = self.window_us * self.adjacencies
+        if span <= 0:
+            return 1.0
+        return max(0.0, 1.0 - self.downtime_us / span)
 
 
 def fault_windows(events: Iterable[InjectedFailure]) -> list[tuple[int, int]]:
@@ -152,16 +183,49 @@ def liveness_stats(
         return False
 
     stats = LivenessStats()
+    if until is not None:
+        stats.window_us = max(0, until - since)
+    # per-(node, adjacency) open episodes; the adjacency key is the
+    # first message token (port / peer name) by log convention
+    down_since: dict[tuple[str, str], int] = {}
+    supp_since: dict[tuple[str, str], int] = {}
+    keys: set[tuple[str, str]] = set()
     for record in trace.select(since=since, until=until):
         kind = classify(record)
+        if kind is None:
+            continue
+        key = (record.node, record.message.split()[0])
+        keys.add(key)
         if kind == LIVENESS_DETECTED:
             stats.detections += 1
             if not explained(record.time):
                 stats.false_positives += 1
+            down_since.setdefault(key, record.time)
         elif kind == LIVENESS_ADMIN:
             stats.admin_downs += 1
+            down_since.setdefault(key, record.time)
         elif kind == LIVENESS_UP:
             stats.ups += 1
+            started = down_since.pop(key, None)
+            if started is not None:
+                stats.recovered += 1
+                stats.recovery_us += record.time - started
+                stats.downtime_us += record.time - started
+        elif kind == LIVENESS_SUPPRESS:
+            stats.suppressions += 1
+            supp_since.setdefault(key, record.time)
+        elif kind == LIVENESS_REUSE:
+            stats.reuses += 1
+            started = supp_since.pop(key, None)
+            if started is not None:
+                stats.suppression_us += record.time - started
+    if until is not None:
+        # close episodes still open at the window edge (no MTTR credit)
+        for started in down_since.values():
+            stats.downtime_us += max(0, until - started)
+        for started in supp_since.values():
+            stats.suppression_us += max(0, until - started)
+    stats.adjacencies = len(keys)
     return stats
 
 

@@ -1,0 +1,27 @@
+"""Stack-agnostic adaptive liveness: gray-failure detection, adaptive
+hello/dead timers, and RFC 2439-style flap damping (DESIGN §14).
+
+Both routing stacks opt in through one knob: ``liveness=True`` (or a
+field-override mapping / :class:`LivenessConfig`) on their deploy
+entrypoints.  The layer never originates packets — it observes the
+liveness frames the protocols already exchange.
+"""
+
+from repro.liveness.config import (
+    DEFAULT_LIVENESS,
+    LivenessConfig,
+    resolve_liveness,
+)
+from repro.liveness.damping import FlapDamper
+from repro.liveness.estimator import LinkQualityEstimator
+from repro.liveness.monitor import NeighborMonitor, Verdict
+
+__all__ = [
+    "DEFAULT_LIVENESS",
+    "FlapDamper",
+    "LinkQualityEstimator",
+    "LivenessConfig",
+    "NeighborMonitor",
+    "Verdict",
+    "resolve_liveness",
+]

@@ -1,0 +1,79 @@
+"""RFC 2439-style flap damping with exponential penalty decay.
+
+Every flap (a down declaration) adds a fixed penalty; the accumulated
+penalty decays exponentially with a configured half-life.  Crossing the
+suppress threshold quarantines the neighbor — re-acceptance (MR-MTP) or
+session re-establishment (BGP) is withheld — until the penalty decays
+to the reuse threshold.  The suppress/reuse gap is the hold-down
+hysteresis that keeps a marginal neighbor from oscillating around a
+single threshold.
+
+Decay is computed lazily from timestamps (``0.5 ** (dt / half_life)``)
+instead of on a timer, so the damper costs nothing while idle and its
+arithmetic is a pure function of the flap times — deterministic across
+serial and parallel runs.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.liveness.config import LivenessConfig
+
+
+class FlapDamper:
+    """Penalty accounting and suppress/reuse state for one adjacency."""
+
+    def __init__(self, config: LivenessConfig, now_us: int = 0) -> None:
+        self.config = config
+        self.penalty = 0.0
+        self.flaps = 0
+        self.suppressions = 0
+        self._stamp = now_us
+        self._suppressed = False
+
+    # ------------------------------------------------------------------
+    def _decay_to(self, now_us: int) -> None:
+        dt = now_us - self._stamp
+        if dt > 0 and self.penalty > 0.0:
+            self.penalty *= 0.5 ** (dt / self.config.half_life_us)
+        self._stamp = max(self._stamp, now_us)
+
+    def current_penalty(self, now_us: int) -> float:
+        self._decay_to(now_us)
+        return self.penalty
+
+    # ------------------------------------------------------------------
+    def record_flap(self, now_us: int) -> None:
+        """One down declaration: decay, then add the flap penalty."""
+        self._decay_to(now_us)
+        self.flaps += 1
+        self.penalty = min(self.penalty + self.config.flap_penalty,
+                           self.config.max_penalty)
+        if not self._suppressed and self.penalty >= self.config.suppress_threshold:
+            self._suppressed = True
+            self.suppressions += 1
+
+    def suppressed(self, now_us: int) -> bool:
+        """Whether the adjacency is currently quarantined.  Hysteresis:
+        entered at ``suppress_threshold``, left only once the penalty
+        has decayed to ``reuse_threshold``."""
+        self._decay_to(now_us)
+        if self._suppressed and self.penalty <= self.config.reuse_threshold:
+            self._suppressed = False
+        return self._suppressed
+
+    def reuse_eta_us(self, now_us: int) -> int:
+        """Microseconds until the penalty decays to the reuse threshold
+        (0 when not suppressed) — for scheduling a re-check, not for
+        deciding: callers re-ask :meth:`suppressed` when the time comes."""
+        if not self.suppressed(now_us):
+            return 0
+        ratio = self.penalty / self.config.reuse_threshold
+        return int(math.ceil(math.log2(ratio) * self.config.half_life_us))
+
+    def reset(self) -> None:
+        """Forgive everything (the underlying fault was repaired — e.g.
+        an impairment was cleared): penalty to zero, suppression lifted."""
+        self.penalty = 0.0
+        self._suppressed = False

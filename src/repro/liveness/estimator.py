@@ -1,0 +1,117 @@
+"""Per-neighbor link-quality estimation from hello/keepalive arrival gaps.
+
+The estimator is fed only what a real router can see for free: the
+arrival times of frames that already prove liveness (hellos, keepalives,
+any protocol frame).  A gap of ``k`` expected periods implies ``k - 1``
+lost hellos; folding those misses and the arrival itself into an EWMA
+yields a loss-rate estimate, and the deviation of each gap from the
+nearest period multiple yields a jitter estimate.  Everything is
+integer-time, RNG-free and deterministic — the same arrival sequence
+always produces the same estimates, so adaptive timer choices digest
+identically serial vs parallel.
+
+Two complementary loss views are kept:
+
+* ``ewma`` — fast, burst-sensitive: a Gilbert-Elliott loss burst spikes
+  it immediately, widening detection while the burst lasts;
+* ``lifetime`` — total implied misses over total expected slots: stable
+  under sparse uniform loss, where an EWMA would decay to zero between
+  rare loss events and let the detection interval snap back too early.
+
+``loss_rate`` is the max of the two; duplicated frames arrive with a
+zero gap (one period, zero misses) and therefore never inflate it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.liveness.config import LivenessConfig
+
+
+class LinkQualityEstimator:
+    """EWMA + lifetime loss rate and arrival jitter for one adjacency."""
+
+    def __init__(self, period_us: int, config: LivenessConfig,
+                 slack_periods: int = 0) -> None:
+        if period_us <= 0:
+            raise ValueError("period_us must be positive")
+        if slack_periods < 0:
+            raise ValueError("slack_periods must be >= 0")
+        self.period_us = int(period_us)
+        # protocol-legal silent periods per gap that imply NO loss:
+        # MR-MTP's keepalive suppression lets a sender stay silent for
+        # one full hello interval after any frame, so a 2-period gap is
+        # indistinguishable from (and usually is) innocent suppression
+        self.slack_periods = int(slack_periods)
+        self.config = config
+        self.arrivals = 0           # observed frames
+        self.implied_misses = 0     # losses implied by oversized gaps
+        self._ewma_loss = 0.0
+        self._jitter_us = 0.0
+        self._last_rx: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def warmed_up(self) -> bool:
+        return self.arrivals >= self.config.warmup_arrivals
+
+    @property
+    def ewma_loss(self) -> float:
+        return self._ewma_loss
+
+    @property
+    def lifetime_loss(self) -> float:
+        slots = self.arrivals + self.implied_misses
+        return self.implied_misses / slots if slots else 0.0
+
+    @property
+    def loss_rate(self) -> float:
+        """The conservative (larger) of the burst and lifetime views."""
+        return max(self._ewma_loss, self.lifetime_loss)
+
+    @property
+    def jitter_us(self) -> float:
+        return self._jitter_us
+
+    # ------------------------------------------------------------------
+    def observe(self, now: int, period_us: Optional[int] = None) -> None:
+        """Record one liveness-proving arrival at time ``now``.
+
+        ``period_us`` overrides the expected inter-arrival period for
+        this gap (BFD's negotiated rate changes at bring-up; counting a
+        slow-rate gap against the fast period would fabricate misses).
+        """
+        period = self.period_us if period_us is None else max(1, int(period_us))
+        last = self._last_rx
+        self._last_rx = now
+        self.arrivals += 1
+        if last is None:
+            return
+        gap = now - last
+        periods = max(1, round(gap / period))
+        misses = min(max(0, periods - 1 - self.slack_periods),
+                     self.config.max_misses_per_gap)
+        alpha = self.config.ewma_alpha
+        for _ in range(misses):
+            self._ewma_loss += alpha * (1.0 - self._ewma_loss)
+        self._ewma_loss *= 1.0 - alpha
+        self.implied_misses += misses
+        deviation = abs(gap - periods * period)
+        ja = self.config.jitter_alpha
+        self._jitter_us += ja * (deviation - self._jitter_us)
+
+    def interrupt(self) -> None:
+        """Forget the last arrival time (adjacency declared down, local
+        port down): the silent interval must not be folded in as loss —
+        the detector already accounted for it."""
+        self._last_rx = None
+
+    def reset(self) -> None:
+        """Discard all learned state (the link was physically repaired —
+        an impairment was cleared)."""
+        self.arrivals = 0
+        self.implied_misses = 0
+        self._ewma_loss = 0.0
+        self._jitter_us = 0.0
+        self._last_rx = None

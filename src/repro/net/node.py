@@ -48,6 +48,7 @@ class Node:
         self._handlers: dict[int, FrameHandler] = {}
         self._down_listeners: list[IfaceListener] = []
         self._up_listeners: list[IfaceListener] = []
+        self._impair_listeners: list[IfaceListener] = []
 
     # ------------------------------------------------------------------
     # interfaces
@@ -106,6 +107,19 @@ class Node:
     def interface_came_up(self, iface: Interface) -> None:
         self.log("iface.up", f"{iface.name} admin up")
         for listener in list(self._up_listeners):
+            listener(iface)
+
+    def on_impairment_cleared(self, listener: IfaceListener) -> None:
+        """Subscribe to link-repair notifications (an impairment on the
+        interface's link was cleared by the failure injector).  A real
+        deployment's analogue is the optics/NOC repair event that closes
+        an incident."""
+        self._impair_listeners.append(listener)
+
+    def impairment_cleared(self, iface: Interface) -> None:
+        # deliberately not logged: only liveness-enabled protocols
+        # subscribe, so baseline traces stay byte-identical
+        for listener in list(self._impair_listeners):
             listener(iface)
 
     # ------------------------------------------------------------------

@@ -10,7 +10,7 @@ internals.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Optional
+from typing import Callable, Iterable, Optional
 
 from repro.stack.addresses import Ipv4Address, Ipv4Network
 from repro.routing.ecmp import FlowKey, ecmp_hash
@@ -67,6 +67,11 @@ class RoutingTable:
         self._lengths: list[int] = []
         self.change_count = 0
         self.last_change_time: Optional[int] = None
+        # optional gray-failure depreference hook (DESIGN §14): a
+        # predicate ``interface name -> bool`` marking next hops to
+        # avoid.  ECMP then hashes over the unbiased subset when one
+        # exists — the route itself stays installed (no churn).
+        self.nexthop_bias: Optional[Callable[[str], bool]] = None
 
     # ------------------------------------------------------------------
     def _note_change(self) -> None:
@@ -128,8 +133,22 @@ class RoutingTable:
         route = self.lookup(dst)
         if route is None:
             return None
-        index = ecmp_hash(flow, len(route.nexthops), salt=self.salt)
-        return route.nexthops[index]
+        nexthops = self.usable_nexthops(route)
+        index = ecmp_hash(flow, len(nexthops), salt=self.salt)
+        return nexthops[index]
+
+    def usable_nexthops(self, route: Route) -> tuple[NextHop, ...]:
+        """The next-hop set ECMP actually hashes over: the installed set
+        minus biased-against (degraded) interfaces, unless that would
+        empty it — a degraded path still beats no path."""
+        if self.nexthop_bias is None or len(route.nexthops) < 2:
+            return route.nexthops
+        bias = self.nexthop_bias
+        preferred = tuple(nh for nh in route.nexthops
+                          if not bias(nh.interface))
+        if preferred and len(preferred) < len(route.nexthops):
+            return preferred
+        return route.nexthops
 
     # ------------------------------------------------------------------
     def render(self) -> str:

@@ -1,6 +1,6 @@
 """The canonical scenario library.
 
-Twelve shipped scenarios, runnable on any registered stack via
+Thirteen shipped scenarios, runnable on any registered stack via
 ``python -m repro scenario run``:
 
 * ``tc1``–``tc4`` — the paper's four interface-failure test points
@@ -28,7 +28,12 @@ Twelve shipped scenarios, runnable on any registered stack via
   and recovery: goodput, FCT tails and the blackhole window under
   partition-aggregate load;
 * ``hotspot-drain`` — a hotspot workload while one aggregation drains
-  for maintenance and returns: skewed load on reduced capacity.
+  for maintenance and returns: skewed load on reduced capacity;
+* ``gray-uplink-recovery`` — the full gray-failure life cycle: the TC1
+  uplink runs at 15 % symmetric loss, then the impairment clears —
+  liveness-enabled stacks must degrade (not withdraw) during the gray
+  phase and return the repaired link to service with no stale damping
+  hold-down.
 
 Scenarios are topology-relative (symbolic targets), so the same library
 runs on 2-PoD, 4-PoD or multi-zone fabrics unchanged.
@@ -184,6 +189,27 @@ INCAST_STORM = Scenario(
     ),
 )
 
+GRAY_UPLINK_RECOVERY = Scenario(
+    name="gray-uplink-recovery",
+    description="a full gray-failure life cycle on the TC1 uplink: 15% "
+                "symmetric loss for 3 s (liveness-enabled stacks degrade "
+                "and depreference the link; aggressive baselines "
+                "false-flag and may suppress), then the impairment "
+                "clears and damping state resets — the repaired link "
+                "must return to service without a stale hold-down",
+    settle="keepalive-phase",
+    quiet_ms=1000,
+    max_wait_ms=60_000,
+    events=(
+        ScenarioEvent(op="impair", at_ms=0, target="case:TC1",
+                      loss=0.15),
+        ScenarioEvent(op="pause", at_ms=0, duration_ms=3000),
+        ScenarioEvent(op="clear_impairment", at_ms=3000,
+                      target="case:TC1"),
+        ScenarioEvent(op="pause", at_ms=3000, duration_ms=1500),
+    ),
+)
+
 HOTSPOT_DRAIN = Scenario(
     name="hotspot-drain",
     description="a hotspot workload (half the flows into one hot rack) "
@@ -206,7 +232,7 @@ HOTSPOT_DRAIN = Scenario(
 
 CANONICAL = (TC1, TC2, TC3, TC4, FLAP_STORM, DOUBLE_CUT, DRAIN,
              ROLLING_RESTART, GRAY_UPLINK, LOSSY_SPINE,
-             INCAST_STORM, HOTSPOT_DRAIN)
+             INCAST_STORM, HOTSPOT_DRAIN, GRAY_UPLINK_RECOVERY)
 
 
 def canonical_scenarios() -> dict[str, Scenario]:

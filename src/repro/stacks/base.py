@@ -100,8 +100,10 @@ class Deployment(Protocol):
         """Classify one trace record as a liveness transition: one of
         ``"down-detected"`` (a liveness timer declared the peer dead),
         ``"down-admin"`` (local link-down event), ``"up"``
-        (adjacency/session established), or None for anything else.
-        Feeds the false-positive / flap metrics of the chaos suite."""
+        (adjacency/session established), ``"suppress"`` / ``"reuse"``
+        (flap damping quarantined / released the adjacency — liveness-
+        enabled stacks only), or None for anything else.  Feeds the
+        false-positive / flap / MTTR metrics of the chaos suite."""
         ...
 
     def table_stats(self, node: str) -> TableStats:

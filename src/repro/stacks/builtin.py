@@ -46,19 +46,22 @@ _KIND_NAMES = {
 # repro.harness.deploy; these adapt the shared timer bundle onto it)
 # ----------------------------------------------------------------------
 def deploy_mtp_stack(topo: Any, timers: StackTimers, *,
-                     per_packet_spray: bool = False):
+                     per_packet_spray: bool = False,
+                     liveness: Any = False):
     from repro.harness.deploy import deploy_mtp
 
     return deploy_mtp(topo, timers=timers.mtp,
-                      per_packet_spray=per_packet_spray)
+                      per_packet_spray=per_packet_spray,
+                      liveness=liveness)
 
 
 def deploy_bgp_stack(topo: Any, timers: StackTimers, *, bfd: bool = False,
-                     multipath: bool = True):
+                     multipath: bool = True, liveness: Any = False):
     from repro.harness.deploy import deploy_bgp
 
     return deploy_bgp(topo, bfd=bfd, timers=timers.bgp,
-                      bfd_timers=timers.bfd, multipath=multipath)
+                      bfd_timers=timers.bfd, multipath=multipath,
+                      liveness=liveness)
 
 
 def render_mtp_config(topo: Any, timers: Optional[StackTimers] = None,
@@ -72,11 +75,11 @@ def render_mtp_config(topo: Any, timers: Optional[StackTimers] = None,
 
 def render_bgp_config(topo: Any, timers: Optional[StackTimers] = None,
                       node: Optional[str] = None, *, bfd: bool = False,
-                      multipath: bool = True) -> str:
+                      multipath: bool = True, liveness: Any = False) -> str:
     """Listing 1: one router's FRR-style configuration."""
     bundle = timers if timers is not None else StackTimers()
     deployment = deploy_bgp_stack(topo, bundle, bfd=bfd,
-                                  multipath=multipath)
+                                  multipath=multipath, liveness=liveness)
     # prefer a top spine; fabrics without a top tier (recursive DCNs)
     # show their first router instead
     node = node or (topo.all_tops() or topo.routers())[0]

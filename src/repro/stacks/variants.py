@@ -21,6 +21,15 @@ from repro.stacks.builtin import (
 )
 from repro.stacks.registry import register_stack
 
+
+def _mtp_adaptive_detection_bound_us(timers) -> int:
+    # adaptive widening: up to max_scale x the paper's dead interval on
+    # a measured-lossy link (clean links keep the 2x-hello bound)
+    from repro.liveness import DEFAULT_LIVENESS
+
+    return int(timers.mtp.dead_us * DEFAULT_LIVENESS.max_scale)
+
+
 MTP_SPRAY = register_stack(StackDefinition(
     name="mtp-spray",
     display="MR-MTP (per-packet spray)",
@@ -40,6 +49,34 @@ BGP_NOMULTIPATH = register_stack(StackDefinition(
                 "best path per prefix, the pre-RFC7938 ablation",
     deploy=deploy_bgp_stack,
     default_params={"multipath": False},
+    detection_bound_us=_bgp_detection_bound_us,
+    keepalive_period_us=_bgp_keepalive_period_us,
+    render_config=render_bgp_config,
+))
+
+MTP_ADAPTIVE = register_stack(StackDefinition(
+    name="mtp-adaptive",
+    display="MR-MTP (adaptive liveness)",
+    description="MR-MTP with the adaptive liveness layer: loss-aware "
+                "dead-timer widening, flap damping, and gray-failure "
+                "depreference of degraded ports",
+    deploy=deploy_mtp_stack,
+    default_params={"liveness": True},
+    detection_bound_us=_mtp_adaptive_detection_bound_us,
+    keepalive_period_us=_mtp_keepalive_period_us,
+    render_config=render_mtp_config,
+))
+
+BGP_BFD_DAMPED = register_stack(StackDefinition(
+    name="bgp-bfd-damped",
+    display="BGP/ECMP/BFD (damped)",
+    description="the BGP+BFD stack with the adaptive liveness layer: "
+                "loss-aware BFD detection widening, session flap "
+                "damping, and ECMP depreference of degraded next hops",
+    deploy=deploy_bgp_stack,
+    default_params={"bfd": True, "liveness": True},
+    # BGP's hold timer still bounds detection: the widened BFD envelope
+    # (8 x 300 ms = 2.4 s) stays under the 3 s hold time
     detection_bound_us=_bgp_detection_bound_us,
     keepalive_period_us=_bgp_keepalive_period_us,
     render_config=render_bgp_config,

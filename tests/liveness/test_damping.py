@@ -1,0 +1,92 @@
+"""Flap damper unit tests: penalty arithmetic, hysteresis, reuse ETA,
+lazy-decay determinism, and reset-on-repair."""
+
+from __future__ import annotations
+
+from repro.liveness import FlapDamper, LivenessConfig
+from repro.sim.units import SECOND
+
+CFG = LivenessConfig()  # penalty 1000, suppress 2000, reuse 750, t1/2 2s
+
+
+def test_single_flap_does_not_suppress():
+    d = FlapDamper(CFG)
+    d.record_flap(0)
+    assert d.penalty == CFG.flap_penalty
+    assert not d.suppressed(0)
+
+
+def test_rapid_flaps_cross_suppress_threshold():
+    d = FlapDamper(CFG)
+    d.record_flap(0)
+    d.record_flap(10_000)
+    d.record_flap(20_000)
+    assert d.suppressed(20_000)
+    assert d.suppressions == 1
+
+
+def test_penalty_decays_with_half_life():
+    d = FlapDamper(CFG)
+    d.record_flap(0)
+    assert abs(d.current_penalty(CFG.half_life_us)
+               - CFG.flap_penalty / 2) < 1.0
+    assert abs(d.current_penalty(2 * CFG.half_life_us)
+               - CFG.flap_penalty / 4) < 1.0
+
+
+def test_hysteresis_holds_until_reuse_threshold():
+    """Suppression entered at 2000 is NOT left when the penalty dips
+    just below 2000 — only at <= 750 (the hold-down gap)."""
+    d = FlapDamper(CFG)
+    d.record_flap(0)
+    d.record_flap(0)  # penalty 2000: suppressed
+    assert d.suppressed(0)
+    # one half-life: penalty 1000 — below suppress, above reuse
+    assert d.suppressed(CFG.half_life_us)
+    # after enough decay the hold-down lifts
+    assert not d.suppressed(4 * CFG.half_life_us)
+
+
+def test_reuse_eta_predicts_release():
+    d = FlapDamper(CFG)
+    d.record_flap(0)
+    d.record_flap(0)
+    eta = d.reuse_eta_us(0)
+    assert eta > 0
+    assert d.suppressed(eta - 10_000)       # just before: still held
+    assert not d.suppressed(eta + 10_000)   # just after: released
+    assert d.reuse_eta_us(eta + 10_000) == 0
+
+
+def test_penalty_is_capped():
+    d = FlapDamper(CFG)
+    for _ in range(100):
+        d.record_flap(0)
+    assert d.penalty == CFG.max_penalty
+    # the cap bounds the worst-case hold-down
+    assert d.reuse_eta_us(0) <= 5 * CFG.half_life_us
+
+
+def test_lazy_decay_is_schedule_independent():
+    """Polling suppressed() at different cadences must not change the
+    penalty trajectory — decay is a pure function of timestamps."""
+    a, b = FlapDamper(CFG), FlapDamper(CFG)
+    for d in (a, b):
+        d.record_flap(0)
+        d.record_flap(50_000)
+    for t in range(100_000, 2_000_000, 100_000):
+        a.suppressed(t)  # frequent polls
+    b.suppressed(1_900_000)  # one late poll
+    assert abs(a.current_penalty(2 * SECOND)
+               - b.current_penalty(2 * SECOND)) < 1e-6
+
+
+def test_reset_forgives_everything():
+    d = FlapDamper(CFG)
+    for _ in range(5):
+        d.record_flap(0)
+    assert d.suppressed(0)
+    d.reset()
+    assert d.penalty == 0.0
+    assert not d.suppressed(0)
+    assert d.reuse_eta_us(0) == 0

@@ -1,0 +1,133 @@
+"""Link-quality estimator unit tests: clean streams, implied misses,
+duplication, slack periods, Gilbert-Elliott bursts, interrupt vs reset.
+
+Everything here is deterministic by construction — arrival sequences
+are hand-built (the Gilbert-Elliott "chain" is a fixed good/bad pattern,
+not a sampled one), matching the estimator's own RNG-free contract.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.liveness import LinkQualityEstimator, LivenessConfig
+
+PERIOD = 50_000  # 50 ms hello
+
+
+def feed(est, times, start=0):
+    now = start
+    for gap in times:
+        now += gap
+        est.observe(now)
+    return now
+
+
+def test_clean_stream_measures_zero_loss():
+    est = LinkQualityEstimator(PERIOD, LivenessConfig())
+    feed(est, [PERIOD] * 40)
+    assert est.loss_rate == 0.0
+    assert est.jitter_us == 0.0
+    assert est.warmed_up
+
+
+def test_gap_implies_misses():
+    """A gap of k periods implies k-1 lost hellos."""
+    est = LinkQualityEstimator(PERIOD, LivenessConfig())
+    feed(est, [PERIOD] * 10)
+    est.observe(10 * PERIOD + 3 * PERIOD)  # 3-period gap: 2 misses
+    assert est.implied_misses == 2
+    assert est.loss_rate > 0.0
+
+
+def test_duplicates_never_inflate_loss():
+    """A duplicated frame arrives with a zero gap — one period, zero
+    misses — so duplication storms cannot make a link look lossy."""
+    est = LinkQualityEstimator(PERIOD, LivenessConfig())
+    now = feed(est, [PERIOD] * 20)
+    for _ in range(50):  # duplicate burst at the same instant
+        est.observe(now)
+    assert est.implied_misses == 0
+    assert est.loss_rate == 0.0
+
+
+def test_slack_periods_excuse_legal_silence():
+    """MR-MTP's keepalive suppression makes a 2-period gap innocent;
+    slack_periods=1 keeps it out of the loss estimate while a 3-period
+    gap (a real loss run) still registers."""
+    excused = LinkQualityEstimator(PERIOD, LivenessConfig(),
+                                   slack_periods=1)
+    feed(excused, [2 * PERIOD] * 30)
+    assert excused.implied_misses == 0
+    assert excused.loss_rate == 0.0
+
+    excused.observe(30 * 2 * PERIOD + 3 * PERIOD)
+    assert excused.implied_misses == 1
+
+    strict = LinkQualityEstimator(PERIOD, LivenessConfig())
+    feed(strict, [2 * PERIOD] * 30)
+    assert strict.implied_misses == 29  # first arrival has no gap
+
+
+def test_max_misses_per_gap_caps_one_observation():
+    est = LinkQualityEstimator(PERIOD, LivenessConfig(max_misses_per_gap=16))
+    est.observe(0)
+    est.observe(1000 * PERIOD)  # an outage, not a loss measurement
+    assert est.implied_misses == 16
+
+
+def test_gilbert_elliott_burst_spikes_ewma_then_decays():
+    """A burst-loss pattern (runs of consecutive drops) must spike the
+    EWMA view immediately; a long clean tail decays it while the
+    lifetime view keeps the link degraded-looking."""
+    est = LinkQualityEstimator(PERIOD, LivenessConfig())
+    feed(est, [PERIOD] * 20)
+    # bad state: three bursts of 3 consecutive losses (gap = 4 periods)
+    now = 20 * PERIOD
+    for _ in range(3):
+        now += 4 * PERIOD
+        est.observe(now)
+    assert est.ewma_loss > 0.2
+    burst_ewma = est.ewma_loss
+    # good state: long clean run
+    feed(est, [PERIOD] * 60, start=now)
+    assert est.ewma_loss < burst_ewma / 4
+    assert est.lifetime_loss > 0.05          # the history remains
+    assert est.loss_rate >= est.lifetime_loss
+
+
+def test_jitter_tracks_gap_deviation():
+    est = LinkQualityEstimator(PERIOD, LivenessConfig())
+    feed(est, [PERIOD + 5_000, PERIOD - 5_000] * 10)
+    assert 1_000 < est.jitter_us < 5_000
+
+
+def test_interrupt_forgets_only_the_last_arrival():
+    """After an interrupt (down declaration) the silent span must not be
+    folded in as loss, but learned history survives."""
+    est = LinkQualityEstimator(PERIOD, LivenessConfig())
+    feed(est, [PERIOD] * 10)
+    est.observe(10 * PERIOD + 2 * PERIOD)
+    misses = est.implied_misses
+    est.interrupt()
+    est.observe(10**9)  # much later: would imply a huge gap
+    assert est.implied_misses == misses
+    assert est.arrivals == 12
+
+
+def test_reset_discards_everything():
+    est = LinkQualityEstimator(PERIOD, LivenessConfig())
+    feed(est, [3 * PERIOD] * 20)
+    assert est.loss_rate > 0.0
+    est.reset()
+    assert est.arrivals == 0
+    assert est.implied_misses == 0
+    assert est.loss_rate == 0.0
+    assert not est.warmed_up
+
+
+def test_rejects_bad_construction():
+    with pytest.raises(ValueError):
+        LinkQualityEstimator(0, LivenessConfig())
+    with pytest.raises(ValueError):
+        LinkQualityEstimator(PERIOD, LivenessConfig(), slack_periods=-1)

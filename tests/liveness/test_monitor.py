@@ -1,0 +1,147 @@
+"""Neighbor-monitor unit tests: the verdict state machine and the
+adaptive detection-interval policy (clean floor, cold caution, warm
+formula, envelope clamps) — including verdict behaviour under frame
+duplication and Gilbert-Elliott loss bursts."""
+
+from __future__ import annotations
+
+from repro.liveness import LivenessConfig, NeighborMonitor, Verdict
+
+PERIOD = 50_000           # 50 ms hello
+BASE = 100_000            # 100 ms dead interval (2x hello)
+
+
+def monitor(**overrides):
+    return NeighborMonitor(LivenessConfig(**overrides), period_us=PERIOD,
+                           base_detection_us=BASE)
+
+
+def feed_clean(mon, n, start=0, period=PERIOD):
+    now = start
+    for _ in range(n):
+        now += period
+        mon.observe(now)
+    return now
+
+
+# ----------------------------------------------------------------------
+# detection interval policy
+# ----------------------------------------------------------------------
+def test_non_adaptive_returns_base():
+    mon = monitor(adaptive_timers=False)
+    feed_clean(mon, 40)
+    assert mon.detection_interval_us() == BASE
+
+
+def test_clean_link_keeps_the_deterministic_floor():
+    """A measured-clean link sits at the clean_misses floor — wide
+    enough to survive the causally-unobservable first losses of a fresh
+    gray episode, and independent of history (no drift)."""
+    mon = monitor()
+    cfg = mon.config
+    floor = (cfg.clean_misses + 1) * PERIOD + PERIOD // 2
+    assert mon.detection_interval_us() == max(BASE, floor)
+    feed_clean(mon, 40)
+    assert mon.detection_interval_us() == max(BASE, floor)
+
+
+def test_cold_and_lossy_applies_cold_scale():
+    mon = monitor()
+    mon.observe(0)
+    mon.observe(4 * PERIOD)  # misses before warm-up
+    assert not mon.estimator.warmed_up
+    assert mon.detection_interval_us() >= int(BASE * mon.config.cold_scale)
+
+
+def test_warm_lossy_widens_with_measured_loss():
+    """Once warm, the interval covers enough consecutive losses that a
+    false declaration needs a run of probability below fp_target."""
+    mon = monitor()
+    now = feed_clean(mon, 20)
+    for _ in range(10):  # sustained loss: every other hello lost
+        now += 2 * PERIOD
+        mon.observe(now)
+    widened = mon.detection_interval_us()
+    floor = (mon.config.clean_misses + 1) * PERIOD + PERIOD // 2
+    assert widened > floor
+    assert widened <= int(BASE * mon.config.max_scale)
+
+
+def test_ceiling_clamps_extreme_loss():
+    mon = monitor()
+    now = feed_clean(mon, 20)
+    for _ in range(30):
+        now += 10 * PERIOD
+        mon.observe(now)
+    assert mon.detection_interval_us() == int(BASE * mon.config.max_scale)
+
+
+def test_base_and_period_overrides():
+    """BFD renegotiates its interval at bring-up; the overrides rescale
+    the policy without rebuilding the monitor."""
+    mon = monitor(adaptive_timers=False)
+    assert mon.detection_interval_us(base_us=300_000) == 300_000
+    mon2 = monitor()
+    cfg = mon2.config
+    floor = (cfg.clean_misses + 1) * 100_000 + 50_000
+    assert mon2.detection_interval_us(base_us=300_000,
+                                      period_us=100_000) == \
+        max(300_000, floor)
+
+
+# ----------------------------------------------------------------------
+# verdicts
+# ----------------------------------------------------------------------
+def test_verdict_healthy_degraded_dead_cycle():
+    mon = monitor()
+    now = feed_clean(mon, 20)
+    assert mon.verdict() is Verdict.HEALTHY
+    for _ in range(10):
+        now += 3 * PERIOD
+        mon.observe(now)
+    assert mon.degraded
+    assert mon.verdict() is Verdict.DEGRADED
+    mon.interrupt()
+    assert mon.verdict() is Verdict.DEAD
+    mon.observe(now + 10 * PERIOD)
+    assert mon.alive
+
+
+def test_duplication_storm_stays_healthy():
+    """Duplicated keepalives (gap 0) must not push the verdict to
+    degraded — duplication is not loss."""
+    mon = monitor()
+    now = feed_clean(mon, 20)
+    for _ in range(100):
+        mon.observe(now)  # same-instant duplicates
+    assert mon.verdict() is Verdict.HEALTHY
+
+
+def test_gilbert_elliott_burst_degrades_then_recovers_slowly():
+    """A loss burst flips the verdict to degraded via the EWMA spike;
+    a short clean run is NOT enough to clear it (the lifetime view keeps
+    the link suspect), which is exactly the hold-down the control plane
+    wants before re-preferring a flapping-gray uplink."""
+    mon = monitor()
+    now = feed_clean(mon, 20)
+    for _ in range(4):  # burst: runs of 3 consecutive losses
+        now += 4 * PERIOD
+        mon.observe(now)
+    assert mon.verdict() is Verdict.DEGRADED
+    now = feed_clean(mon, 30, start=now)
+    assert mon.verdict() is Verdict.DEGRADED  # lifetime view holds
+    mon.clear_history()  # only an actual repair clears it
+    assert mon.verdict() is Verdict.HEALTHY
+
+
+def test_clear_history_resets_estimator_and_damper():
+    mon = monitor()
+    now = feed_clean(mon, 20)
+    mon.record_flap(now)
+    mon.record_flap(now)
+    assert mon.suppressed(now)
+    mon.clear_history()
+    assert not mon.suppressed(now)
+    assert mon.estimator.arrivals == 0
+    assert mon.detection_interval_us() == \
+        max(BASE, (mon.config.clean_misses + 1) * PERIOD + PERIOD // 2)

@@ -21,7 +21,7 @@ def test_library_names_and_lookup():
     assert names == ["tc1", "tc2", "tc3", "tc4", "flap-storm",
                      "double-cut", "drain", "rolling-restart",
                      "gray-uplink", "lossy-spine", "incast-storm",
-                     "hotspot-drain"]
+                     "hotspot-drain", "gray-uplink-recovery"]
     assert get_scenario("flap-storm").name == "flap-storm"
     with pytest.raises(ScenarioError, match="unknown scenario"):
         get_scenario("tc9")

@@ -51,8 +51,11 @@ def _plant_stale(cache: ResultCache, key: str, schema: int) -> None:
          "payload": {"stale": f"schema-{schema} era"}}))
 
 
-def test_schema_is_4():
-    assert CACHE_SCHEMA == 4
+def test_schema_is_at_least_4():
+    """The workload payloads joined the key space at schema 4; later
+    layers (e.g. the liveness chaos fields at 5) may bump further, but
+    a bump below 4 would resurrect pre-workload entries."""
+    assert CACHE_SCHEMA >= 4
 
 
 def test_schema3_workload_entry_misses_cleanly(tmp_path):
