@@ -59,6 +59,11 @@ class BgpConfig:
     neighbors: list[BgpNeighborConfig] = field(default_factory=list)
     networks: list[Ipv4Network] = field(default_factory=list)
     multipath: bool = True  # `bestpath as-path multipath-relax`
+    # RFC 4724 graceful restart: helpers retain a dead peer's paths as
+    # stale under the restart timer (flushed on expiry or a fresh
+    # End-of-RIB); a restarting speaker keeps its FIB and re-learns.
+    graceful_restart: bool = False
+    gr_restart_time_us: int = 10 * SECOND
     timers: BgpTimers = field(default_factory=BgpTimers)
     bfd_timers: BfdTimers = field(default_factory=BfdTimers)
     # adaptive liveness layer (DESIGN §14): session flap damping plus,
@@ -78,6 +83,11 @@ class BgpConfig:
         ]
         if self.multipath:
             lines.append(" bgp bestpath as-path multipath-relax")
+        if self.graceful_restart:
+            lines.append(" bgp graceful-restart")
+            lines.append(
+                f" bgp graceful-restart restart-time"
+                f" {self.gr_restart_time_us // SECOND}")
         for nbr in self.neighbors:
             lines.append(f" neighbor {nbr.peer_ip} remote-as {nbr.peer_asn}")
             if nbr.bfd:

@@ -81,8 +81,14 @@ class BgpUpdate(BgpMessage):
     def __post_init__(self) -> None:
         if self.nlri and self.attributes is None:
             raise ValueError("NLRI requires path attributes (RFC 4271 3.1)")
-        if not self.nlri and not self.withdrawn:
-            raise ValueError("empty UPDATE")
+        if not self.nlri and not self.withdrawn \
+                and self.attributes is not None:
+            raise ValueError("path attributes without NLRI")
+
+    @property
+    def is_end_of_rib(self) -> bool:
+        """A fully empty UPDATE is the RFC 4724 End-of-RIB marker."""
+        return not self.nlri and not self.withdrawn
 
 
 @dataclass(frozen=True)

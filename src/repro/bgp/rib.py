@@ -35,13 +35,52 @@ class RibEntry:
 
 
 class AdjRibIn:
-    """Routes received from each peer, keyed (peer_ip, prefix)."""
+    """Routes received from each peer, keyed (peer_ip, prefix).
+
+    Stale marking (RFC 4724 helper mode): when a peer's session dies
+    under graceful restart, its routes are *marked* rather than purged —
+    they keep feeding the decision process while the restart timer runs.
+    A fresh advertisement clears the mark per prefix; :meth:`sweep_stale`
+    purges whatever was never refreshed (timer expiry, or the
+    End-of-RIB marking the refresh complete).
+    """
 
     def __init__(self) -> None:
         self._by_peer: dict[Ipv4Address, dict[Ipv4Network, PathAttributes]] = {}
+        self._stale: dict[Ipv4Address, set[Ipv4Network]] = {}
 
     def set(self, peer: Ipv4Address, prefix: Ipv4Network, attrs: PathAttributes) -> None:
         self._by_peer.setdefault(peer, {})[prefix] = attrs
+        stale = self._stale.get(peer)
+        if stale is not None:
+            stale.discard(prefix)
+
+    def mark_peer_stale(self, peer: Ipv4Address) -> int:
+        """Mark every route from ``peer`` stale; returns how many."""
+        routes = self._by_peer.get(peer)
+        if not routes:
+            return 0
+        self._stale[peer] = set(routes)
+        return len(routes)
+
+    def stale_prefixes(self, peer: Ipv4Address) -> list[Ipv4Network]:
+        return sorted(self._stale.get(peer, ()))
+
+    def sweep_stale(self, peer: Ipv4Address) -> list[Ipv4Network]:
+        """Purge the peer's still-stale routes; returns the affected
+        prefixes (each needs a fresh decision)."""
+        stale = self._stale.pop(peer, None)
+        if not stale:
+            return []
+        routes = self._by_peer.get(peer, {})
+        swept = []
+        for prefix in stale:
+            if prefix in routes:
+                del routes[prefix]
+                swept.append(prefix)
+        if not routes:
+            self._by_peer.pop(peer, None)
+        return swept
 
     def remove(self, peer: Ipv4Address, prefix: Ipv4Network) -> bool:
         routes = self._by_peer.get(peer)
@@ -52,6 +91,7 @@ class AdjRibIn:
 
     def remove_peer(self, peer: Ipv4Address) -> list[Ipv4Network]:
         """Purge everything from a dead peer; returns affected prefixes."""
+        self._stale.pop(peer, None)
         routes = self._by_peer.pop(peer, None)
         return list(routes) if routes else []
 

@@ -110,6 +110,14 @@ class BgpPeer:
             self.mrai_timer = Timer(sim, timers.mrai_us, self.flush_pending,
                                     name=f"mrai-{cfg.peer_ip}")
         self._flush_scheduled = False
+        # RFC 4724: while this runs, the peer's paths stay usable-but-
+        # stale in the Adj-RIB-In.  Expiry (or a fresh End-of-RIB)
+        # flushes whatever the peer never refreshed.
+        self.stale_timer: Optional[Timer] = None
+        if speaker.config.graceful_restart:
+            self.stale_timer = Timer(
+                sim, speaker.config.gr_restart_time_us,
+                self._on_stale_expired, name=f"gr-stale-{cfg.peer_ip}")
 
     # ------------------------------------------------------------------
     @property
@@ -173,7 +181,16 @@ class BgpPeer:
         if self._damping_gate():
             conn.abort()
             return
-        if self.conn is not None:
+        if self.established:
+            # A brand-new connection while the old session still looks
+            # up means the neighbor's process bounced without us ever
+            # noticing (it crashed silently, then reconnected).  The old
+            # session must go *down* first — merging the fresh
+            # connection into the established state would leave the
+            # Adj-RIB-Out believing everything was already sent, so the
+            # restarted peer would never be refreshed.
+            self.down("remote-restart")
+        elif self.conn is not None:
             self.conn.on_close = None
             self.conn.abort()
         self._bind_connection(conn)
@@ -304,9 +321,44 @@ class BgpPeer:
                                   f"{self.cfg.peer_ip} down ({reason})")
             if self.damper is not None:
                 self.damper.record_flap(self.speaker.node.sim.now)
-            self.speaker.on_peer_down(self)
+            self.speaker.on_peer_down(self, reason)
         if self.is_active_opener:
             self.retry_timer.start()
+
+    def crash(self) -> None:
+        """Process death: the connection vanishes silently (no FIN, no
+        RST — stray segments draw kernel RSTs once the listener is
+        gone), every timer stops, and the speaker is *not* notified —
+        there is nobody left to notify."""
+        if self.conn is not None:
+            self.conn.on_close = None
+            self.conn.on_receive = None
+            self.conn.on_established = None
+            self.conn._teardown("crashed")
+            self.conn = None
+        self.state = PeerState.IDLE
+        self.hold_timer.stop()
+        self.keepalive_timer.stop()
+        self.retry_timer.stop()
+        if self.mrai_timer:
+            self.mrai_timer.stop()
+        if self.stale_timer is not None:
+            self.stale_timer.stop()
+        self.pending.clear()
+        self.adj_out.clear()
+
+    def arm_stale_timer(self) -> None:
+        if self.stale_timer is not None:
+            self.stale_timer.restart()
+
+    def _on_stale_expired(self) -> None:
+        self.speaker.flush_stale(self, "restart-timer")
+
+    def send_eor(self) -> None:
+        """End-of-RIB: an UPDATE with no withdrawals and no NLRI, sent
+        once the initial table exchange has been queued."""
+        if self.established:
+            self._send(BgpUpdate())
 
     def clear_damping(self) -> None:
         """The underlying link was repaired (impairment cleared): drop
@@ -415,6 +467,7 @@ class BgpSpeaker:
         self.rng = rng
         self.rib_in = AdjRibIn()
         self.loc_rib = LocRib(multipath=config.multipath)
+        self.crashed = False
         self.peers: dict[Ipv4Address, BgpPeer] = {}
         self._iface_to_peers: dict[str, list[BgpPeer]] = {}
         tcp.listen(BGP_PORT, self._on_accept)
@@ -477,11 +530,15 @@ class BgpSpeaker:
         peer.accept_connection(conn)
 
     def _on_iface_down(self, iface: Interface) -> None:
+        if self.crashed:
+            return
         # FRR fast fallover: directly connected eBGP drops instantly
         for peer in self._iface_to_peers.get(iface.name, ()):
             peer.down("interface-down")
 
     def _on_iface_up(self, iface: Interface) -> None:
+        if self.crashed:
+            return
         for peer in self._iface_to_peers.get(iface.name, ()):
             if peer.bfd_session is not None:
                 peer.bfd_session.admin_reset()
@@ -489,7 +546,7 @@ class BgpSpeaker:
                 peer.retry_timer.start()
 
     def _on_bfd_state(self, session: BfdSession, is_up: bool) -> None:
-        if is_up:
+        if is_up or self.crashed:
             return
         peer = self.peers.get(session.peer)
         if peer is not None and peer.established:
@@ -518,6 +575,11 @@ class BgpSpeaker:
     def process_update(self, peer: BgpPeer, msg: BgpUpdate) -> None:
         if not peer.established:
             return
+        if msg.is_end_of_rib:
+            # End-of-RIB (RFC 4724 section 2): the peer's refresh is
+            # complete — whatever is still stale was really withdrawn
+            self.flush_stale(peer, "end-of-rib")
+            return
         changed: set[Ipv4Network] = set()
         for prefix in msg.withdrawn:
             if self.rib_in.remove(peer.cfg.peer_ip, prefix):
@@ -536,11 +598,84 @@ class BgpSpeaker:
         """Initial table exchange toward the new peer."""
         for prefix in self.loc_rib.prefixes():
             peer.queue_route(prefix, self.loc_rib.best(prefix))
+        if self.config.graceful_restart:
+            # End-of-RIB follows the initial exchange (the queued
+            # updates flush first — both ride call_soon, FIFO)
+            self.node.sim.call_soon(peer.send_eor)
 
-    def on_peer_down(self, peer: BgpPeer) -> None:
-        affected = self.rib_in.remove_peer(peer.cfg.peer_ip)
+    def on_peer_down(self, peer: BgpPeer, reason: str) -> None:
+        peer_ip = peer.cfg.peer_ip
+        if self.config.graceful_restart and reason != "interface-down":
+            # RFC 4724 helper mode: the session died but the peer's
+            # forwarding plane may well still be running — keep its
+            # paths as stale under the restart timer.  A local
+            # interface-down is categorically different: the path
+            # through that port is physically gone, so flush.
+            if self.rib_in.mark_peer_stale(peer_ip):
+                self.node.log("bgp.gr",
+                              f"{peer_ip} down ({reason}): paths held stale")
+                peer.arm_stale_timer()
+                return
+        if peer.stale_timer is not None:
+            peer.stale_timer.stop()
+        affected = self.rib_in.remove_peer(peer_ip)
         for prefix in sorted(affected):
             self._decide(prefix)
+
+    def flush_stale(self, peer: BgpPeer, why: str) -> None:
+        """Purge what the peer never refreshed (timer expiry or EOR)."""
+        if peer.stale_timer is not None:
+            peer.stale_timer.stop()
+        swept = self.rib_in.sweep_stale(peer.cfg.peer_ip)
+        if not swept:
+            return
+        self.node.log("bgp.gr",
+                      f"{peer.cfg.peer_ip} {why}: flushed {len(swept)} stale")
+        for prefix in sorted(swept):
+            self._decide(prefix)
+
+    # ------------------------------------------------------------------
+    # agent lifecycle (crash / restart)
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Agent death.  Sessions drop silently, the listener closes
+        (stray segments now draw kernel RSTs), BFD goes dark.  The FIB
+        and RIBs are left exactly as they were: the node keeps
+        forwarding headless on frozen state until peers time out."""
+        if self.crashed:
+            return
+        self.crashed = True
+        for peer in self.peers.values():
+            peer.crash()
+        self.tcp.unlisten(BGP_PORT)
+        if self.bfd is not None:
+            for session in list(self.bfd.sessions.values()):
+                session.stop()
+
+    def restart(self, cold: bool) -> None:
+        """Bring the agent back.  ``cold`` wipes protocol *and*
+        forwarding state (power-cycle semantics); a graceful restart
+        keeps the FIB and re-learns, marking everything stale until
+        peers refresh it (RFC 4724 restarting side)."""
+        if not self.crashed:
+            return
+        self.crashed = False
+        self.tcp.listen(BGP_PORT, self._on_accept)
+        if cold:
+            self.stack.table.flush_proto("bgp")
+            self.rib_in = AdjRibIn()
+            self.loc_rib = LocRib(multipath=self.config.multipath)
+            for network in self.config.networks:
+                self._decide(network)
+        else:
+            for peer in self.peers.values():
+                if self.rib_in.mark_peer_stale(peer.cfg.peer_ip):
+                    peer.arm_stale_timer()
+        if self.bfd is not None:
+            for session in list(self.bfd.sessions.values()):
+                session.admin_reset()
+        for peer in self.peers.values():
+            peer.start()
 
     # ------------------------------------------------------------------
     def _decide(self, prefix: Ipv4Network) -> None:

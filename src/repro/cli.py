@@ -532,7 +532,11 @@ def _load_scenarios(args):
 
 
 def cmd_scenario(args) -> int:
-    from repro.scenario import canonical_scenarios, run_scenario_suite
+    from repro.scenario import (
+        canonical_scenarios,
+        encode_scenario_outcome,
+        run_scenario_suite,
+    )
 
     if args.action == "list":
         for name, scenario in canonical_scenarios().items():
@@ -556,9 +560,17 @@ def cmd_scenario(args) -> int:
     outcomes = run_scenario_suite(
         _params(args), scenarios, stacks, seed=args.seed, jobs=args.jobs,
         cache=cache, report=None if sup is not None else report,
-        policy=policy, supervisor=sup,
+        policy=policy, supervisor=sup, invariants=args.invariants,
     )
     elapsed = time.perf_counter() - t0
+    describe = sup.describe() if sup is not None else report.describe()
+    if args.json:
+        print(json.dumps({
+            "runs": [encode_scenario_outcome(o) for o in outcomes
+                     if o is not None],
+        }, indent=2, sort_keys=True))
+        return _campaign_epilogue(args, report,
+                                  sup.records if sup is not None else [])
     for outcome in outcomes:
         if outcome is None:
             continue
@@ -570,10 +582,13 @@ def cmd_scenario(args) -> int:
         if m.sent:
             line += (f", traffic {m.received}/{m.sent} "
                      f"(blackhole {m.blackhole_us / 1000:.0f} ms)")
+        if m.fib_loops or m.fib_blackholes:
+            line += (f", anomalies {m.fib_loops} loops / "
+                     f"{m.fib_blackholes} blackholes "
+                     f"({m.fib_blackhole_us / 1000:.0f} ms)")
         if args.digests:
             line = f"{outcome.digest[:16]}  {line}"
         print(line)
-    describe = sup.describe() if sup is not None else report.describe()
     print(f"{len(outcomes)} scenario runs ({describe}), "
           f"{elapsed:.2f} s wall clock")
     return _campaign_epilogue(args, report,
@@ -833,6 +848,13 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default: every registered stack)")
     p_scn.add_argument("--digests", action="store_true",
                        help="print each run's digest")
+    p_scn.add_argument("--invariants", action="store_true",
+                       help="attach the runtime invariant monitor (FIB "
+                            "loop / blackhole episodes) even on "
+                            "workload-free runs")
+    p_scn.add_argument("--json", action="store_true",
+                       help="machine-readable run results (metrics + "
+                            "digests), same shape as chaos --json")
     _add_topo_args(p_scn)
     _add_fanout_args(p_scn)
     _add_supervisor_args(p_scn)

@@ -56,14 +56,18 @@ class MtpKeepalive(MtpMessage):
 @dataclass(frozen=True, slots=True)
 class MtpFullHello(MtpMessage):
     """Neighbor discovery hello carrying the sender's tier (so each end
-    learns whether the port faces up or down the Clos)."""
+    learns whether the port faces up or down the Clos) and its restart
+    generation — a counter bumped on every agent restart, so a peer
+    that never missed a hello still notices the control plane bounced
+    (DESIGN §15)."""
 
     type_code: ClassVar[int] = TYPE_FULL_HELLO
     tier: int
+    gen: int = 0
 
     @property
     def wire_size(self) -> int:
-        return 2
+        return 3
 
 
 @dataclass(frozen=True, slots=True)

@@ -59,6 +59,17 @@ class PortNeighbor:
         self.on_damp = on_damp
         self.state = NeighborState.UNKNOWN
         self.tier: Optional[int] = None
+        # the peer's restart generation from its last full hello.  A
+        # changed generation on a port believed UP means the peer's
+        # control plane bounced without ever missing a hello — the
+        # adjacency is torn down (reason ``peer-restart``) so protocol
+        # state re-forms against the fresh process.
+        self.peer_gen: Optional[int] = None
+        # graceful restart (DESIGN §15): the neighbor's dead timer fired
+        # but its data plane is presumed still forwarding — tree state
+        # learned through this port is retained until a stale-hold
+        # timer expires or the neighbor re-ups.
+        self.stale_held = False
         self._consecutive = 0
         self._last_rx: Optional[int] = None
         self.times_died = 0
@@ -80,13 +91,21 @@ class PortNeighbor:
         return self.monitor.detection_interval_us(self.timers.dead_us)
 
     # ------------------------------------------------------------------
-    def saw_frame(self, tier: Optional[int] = None) -> None:
+    def saw_frame(self, tier: Optional[int] = None,
+                  gen: Optional[int] = None) -> None:
         """Any MR-MTP frame from the peer is a liveness proof."""
         now = self.sim.now
         if self.monitor is not None:
             self.monitor.observe(now)
         if tier is not None:
             self.tier = tier
+        if gen is not None:
+            if self.peer_gen is None:
+                self.peer_gen = gen
+            elif gen != self.peer_gen:
+                self.peer_gen = gen
+                if self.state is NeighborState.UP:
+                    self._declare_down("peer-restart")
         if self.state is NeighborState.UNKNOWN:
             # initial discovery needs the tier (a full hello) before the
             # port direction is known
@@ -125,6 +144,7 @@ class PortNeighbor:
 
     def _accept(self) -> None:
         self.state = NeighborState.UP
+        self.stale_held = False
         self._consecutive = 0
         self._dead_timer.restart(self._dead_interval_us())
         self.on_up(self)

@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
 from repro.sim.timers import PeriodicTimer, Timer
+from repro.sim.units import SECOND
 from repro.stack.addresses import BROADCAST_MAC
 from repro.stack.ethernet import ETHERTYPE_MTP, EthernetFrame
 from repro.stack.ipv4 import Ipv4Packet
@@ -91,6 +92,8 @@ class MtpNode:
         rng=None,
         per_packet_spray: bool = False,
         liveness=None,
+        graceful_restart: bool = False,
+        stale_hold_us: Optional[int] = None,
     ) -> None:
         self.node = node
         self.sim = node.sim
@@ -142,6 +145,28 @@ class MtpNode:
         self._retx_timer = PeriodicTimer(
             self.sim, timers.retransmit_us, self._retransmit, name="mtp-retx"
         )
+        # graceful restart (DESIGN §15).  Helper side: a neighbor whose
+        # dead timer fired is presumed restarting — its tree state is
+        # held stale (per-port timer) instead of pruned.  Restarting
+        # side: the VID table survives the crash; entries are stale
+        # until the rebuilt tree re-offers them, the remainder pruned
+        # when the rebuild timer expires.
+        self.graceful_restart = graceful_restart
+        self.stale_hold_us = (stale_hold_us if stale_hold_us is not None
+                              else 1 * SECOND)
+        self.crashed = False
+        # restart generation, carried in every full hello: peers that
+        # never missed a hello still notice the control plane bounced
+        # when the generation moves (wire byte, so modulo 256)
+        self.restart_gen = 0
+        # bumps on every neighbor-usability transition; forwarding-state
+        # observers (the fluid workload, the invariant monitor) combine
+        # it with the VID table's change_count, because graceful restart
+        # changes what the data plane does without touching the table
+        self.fib_gen = 0
+        self._stale_hold_timers: dict[str, Timer] = {}
+        self._gr_stale: set[tuple[str, Vid]] = set()
+        self._gr_rebuild_timer: Optional[Timer] = None
         self._started = False
         node.register_handler(ETHERTYPE_MTP, self._on_frame)
         node.on_interface_down(self._on_iface_down)
@@ -198,6 +223,109 @@ class MtpNode:
             timer.start(immediate=True)
         self._retx_timer.start()
 
+    def crash(self) -> None:
+        """Agent death: every control timer stops, neighbor liveness
+        stops, pending exchanges are forgotten.  The VID table is left
+        untouched — the data plane keeps forwarding headless on the
+        frozen state until peers time the node out."""
+        if self.crashed:
+            return
+        self.crashed = True
+        for timer in self._hello_timers.values():
+            timer.stop()
+        self._retx_timer.stop()
+        for nbr in self.neighbors.values():
+            nbr.stop()
+        for timer in self._stale_hold_timers.values():
+            timer.stop()
+        if self._gr_rebuild_timer is not None:
+            self._gr_rebuild_timer.stop()
+        self._gr_stale.clear()
+        self._pending_join.clear()
+        self._pending_offer.clear()
+        self._unjoined_adverts.clear()
+
+    def restart(self, cold: bool) -> None:
+        """Bring the agent back.  ``cold`` wipes the VID table in place
+        (power-cycle semantics: the tree is rebuilt from scratch); a
+        graceful restart keeps it, marking every entry stale until the
+        neighbor re-hellos rebuild and confirm it — the remainder is
+        pruned when the rebuild stale-hold expires."""
+        if not self.crashed:
+            return
+        self.crashed = False
+        if cold:
+            self.table.clear()
+            self._announced_lost.clear()
+            self._advertised_default = None
+            self._default_active = False
+        else:
+            self._gr_stale = set(self.table.entries())
+            if self._gr_stale:
+                self.node.log(
+                    "mtp.gr",
+                    f"restart: {len(self._gr_stale)} entries held stale")
+                if self._gr_rebuild_timer is None:
+                    self._gr_rebuild_timer = Timer(
+                        self.sim, self.stale_hold_us,
+                        self._on_gr_rebuild_expired, name="mtp-gr-rebuild")
+                self._gr_rebuild_timer.restart(self.stale_hold_us)
+        # fresh discovery on every port: neighbors and hello timers are
+        # rebuilt by start() (Slow-to-Accept runs on the remote side).
+        # The restart generation moves so peers that never missed a
+        # hello still notice the bounce from the next full hello.
+        self.restart_gen = (self.restart_gen + 1) & 0xFF
+        self.fib_gen += 1
+        prev = {port: (nbr.tier, nbr.up or nbr.stale_held, nbr.peer_gen)
+                for port, nbr in self.neighbors.items()}
+        self._last_tx.clear()
+        self._started = False
+        self.start()
+        if not cold:
+            # warm restart remembers which ports were carrying traffic:
+            # the fresh (UNKNOWN) neighbors inherit the old tier and are
+            # held stale so the data plane never loses its candidate
+            # ports while hellos re-form the adjacency
+            for port, (tier, usable, peer_gen) in prev.items():
+                nbr = self.neighbors.get(port)
+                if nbr is None or tier is None:
+                    continue
+                nbr.tier = tier
+                nbr.peer_gen = peer_gen
+                if usable:
+                    nbr.stale_held = True
+                    self._arm_stale_hold(port)
+            # re-join every surviving entry straight away instead of
+            # waiting for the neighbor to re-advertise: the lower tier
+            # never lost its state, so its OFFER confirms ours within a
+            # round trip (the retransmit timer covers a lost JOIN)
+            rejoin: dict[str, set[Vid]] = {}
+            for port, vid in self._gr_stale:
+                parent = vid.parent() if not vid.is_root else vid
+                rejoin.setdefault(port, set()).add(parent)
+            for port in sorted(rejoin):
+                if not self._port_usable(port):
+                    continue
+                parents = rejoin[port]
+                self._pending_join.setdefault(port, set()).update(parents)
+                self._send(port, MtpJoin(vids=tuple(sorted(parents))))
+
+    def _on_gr_rebuild_expired(self) -> None:
+        """Rebuild stale-hold expired: whatever the re-formed tree never
+        confirmed was really lost while we were down."""
+        stale, self._gr_stale = sorted(self._gr_stale), set()
+        by_port: dict[str, list[Vid]] = {}
+        for port, vid in stale:
+            if self.table.remove(port, vid):
+                by_port.setdefault(port, []).append(vid)
+        if not by_port:
+            return
+        total = sum(len(v) for v in by_port.values())
+        self.node.log("mtp.gr",
+                      f"stale-hold: pruned {total} unconfirmed entries")
+        for port in sorted(by_port):
+            self._propagate_loss(by_port[port], port)
+
     def _processing_delay(self) -> int:
         """Per-update processing latency, scaled by the timing noise."""
         base = self.timers.processing_us
@@ -221,7 +349,7 @@ class MtpNode:
     def _alive_ports(self, direction: str) -> list[str]:
         result = []
         for port, nbr in self.neighbors.items():
-            if not nbr.up or self._direction(port) != direction:
+            if not (nbr.up or nbr.stale_held) or self._direction(port) != direction:
                 continue
             iface = self.node.interfaces[port]
             if iface.admin_up and iface.cabled:
@@ -270,7 +398,8 @@ class MtpNode:
                 self._last_tx[port] = self.sim.now
         else:
             # discovery / re-acceptance needs the tier information
-            self._send(port, MtpFullHello(tier=self.tier))
+            self._send(port, MtpFullHello(tier=self.tier,
+                                          gen=self.restart_gen))
 
     def _send_update(self, port: str, message: MtpMessage) -> None:
         self.counters.updates_sent += 1
@@ -290,9 +419,17 @@ class MtpNode:
         nbr = self.neighbors.get(port)
         if nbr is None:
             return  # excluded or unconfigured port
-        tier = message.tier if isinstance(message, MtpFullHello) else None
+        if self.crashed:
+            # headless data plane: the ASIC still switches on the frozen
+            # table, but nobody is home for control traffic
+            if isinstance(message, MtpData):
+                self._on_data(port, message)
+            return
         was_up = nbr.up
-        nbr.saw_frame(tier)
+        if isinstance(message, MtpFullHello):
+            nbr.saw_frame(message.tier, gen=message.gen)
+        else:
+            nbr.saw_frame()
         if not was_up and not nbr.up:
             # Slow-to-Accept still counting: process nothing but liveness.
             return
@@ -341,6 +478,12 @@ class MtpNode:
             return
         have = self.table.vids_on(port)
         have_parents = {v.parent() for v in have if not v.is_root}
+        if self._gr_stale:
+            # graceful-restart rebuild: a surviving entry must still be
+            # re-joined so the fresh OFFER confirms it before the
+            # stale-hold would prune it as unconfirmed
+            have_parents -= {v.parent() for p, v in self._gr_stale
+                             if p == port and not v.is_root}
         wanted = tuple(v for v in msg.vids if v not in have_parents)
         if not wanted:
             return
@@ -369,14 +512,25 @@ class MtpNode:
             return
         pending = self._pending_join.get(port, set())
         added: list[Vid] = []
+        confirmed = 0
         for child in msg.vids:
             parent = child.parent() if not child.is_root else child
             pending.discard(parent)
+            key = (port, child)
+            if key in self._gr_stale:
+                # graceful-restart rebuild: the re-formed tree confirms
+                # an entry that survived the crash
+                self._gr_stale.discard(key)
+                confirmed += 1
             if self.table.add(port, child):
                 added.append(child)
         self._send(port, MtpAccept(vids=msg.vids))
         if added:
             self.node.log("mtp.vid", f"acquired {[str(v) for v in added]} on {port}")
+        if confirmed and not self._gr_stale and self._gr_rebuild_timer is not None:
+            self._gr_rebuild_timer.stop()
+            self.node.log("mtp.gr", "rebuild complete: every entry confirmed")
+        if added or confirmed:
             self._after_acquisition(added)
 
     def _on_accept(self, port: str, msg: MtpAccept) -> None:
@@ -413,13 +567,18 @@ class MtpNode:
     def _port_usable(self, port: str) -> bool:
         nbr = self.neighbors.get(port)
         iface = self.node.interfaces[port]
-        return nbr is not None and nbr.up and iface.admin_up
+        return (nbr is not None and (nbr.up or nbr.stale_held)
+                and iface.admin_up)
 
     # ------------------------------------------------------------------
     # neighbor events
     # ------------------------------------------------------------------
     def _on_neighbor_up(self, nbr: PortNeighbor) -> None:
         self.node.log("mtp.neighbor", f"{nbr.port} up (tier {nbr.tier})")
+        self.fib_gen += 1
+        hold = self._stale_hold_timers.get(nbr.port)
+        if hold is not None:
+            hold.stop()
         if self._direction(nbr.port) == "up":
             self._advertise_on(nbr.port)
         elif self._direction(nbr.port) == "down":
@@ -436,7 +595,41 @@ class MtpNode:
 
     def _on_neighbor_down(self, nbr: PortNeighbor, reason: str) -> None:
         self.node.log("mtp.neighbor", f"{nbr.port} down ({reason})")
-        port = nbr.port
+        self.fib_gen += 1
+        if self.graceful_restart and reason in ("dead-timer", "peer-restart"):
+            # GR helper: silence without a local port event is presumed
+            # a restarting peer whose data plane still forwards (and a
+            # moved restart generation is that restart made explicit) —
+            # hold its tree state stale instead of pruning, and keep
+            # the port in the forwarding candidate sets
+            nbr.stale_held = True
+            self.node.log(
+                "mtp.gr",
+                f"{nbr.port} held stale ({self.stale_hold_us // 1000} ms)")
+            self._arm_stale_hold(nbr.port)
+            return
+        self._neighbor_lost(nbr.port)
+
+    def _arm_stale_hold(self, port: str) -> None:
+        timer = self._stale_hold_timers.get(port)
+        if timer is None:
+            timer = Timer(self.sim, self.stale_hold_us,
+                          lambda p=port: self._on_stale_hold_expired(p),
+                          name=f"mtp-gr-hold-{port}")
+            self._stale_hold_timers[port] = timer
+        timer.restart(self.stale_hold_us)
+
+    def _on_stale_hold_expired(self, port: str) -> None:
+        nbr = self.neighbors.get(port)
+        if nbr is None or not nbr.stale_held or self.crashed:
+            return
+        nbr.stale_held = False
+        self.fib_gen += 1
+        self.node.log("mtp.gr", f"{port} stale-hold expired")
+        self._neighbor_lost(port)
+
+    def _neighbor_lost(self, port: str) -> None:
+        """The neighbor is really gone: prune/mark and propagate."""
         self._pending_join.pop(port, None)
         self._pending_offer.pop(port, None)
         self._unjoined_adverts.pop(port, None)
@@ -466,8 +659,15 @@ class MtpNode:
             self.node.log("mtp.damping", f"{nbr.port} reuse")
 
     def _on_iface_down(self, iface: Interface) -> None:
+        if self.crashed:
+            return
         nbr = self.neighbors.get(iface.name)
         if nbr is not None:
+            if nbr.stale_held:
+                # a stale-held port going administratively down is a
+                # real loss, not a restarting peer
+                nbr.stale_held = False
+                self._neighbor_lost(iface.name)
             nbr.local_port_down()
 
     def _on_iface_up(self, iface: Interface) -> None:
@@ -545,6 +745,8 @@ class MtpNode:
     def _propagate_loss(self, pruned: list[Vid], origin_port: str) -> None:
         """After pruning VIDs (port death or UPDATE_LOST): tell parents
         to prune derived entries; tell children about lost roots."""
+        if self.crashed:
+            return
         for port in self.up_ports():
             self._send_update(port, MtpUpdateLost(vids=tuple(pruned)))
         lost_roots = tuple(
@@ -559,6 +761,8 @@ class MtpNode:
         self._recompute_default_state()
 
     def _process_update(self, port: str, message: MtpMessage) -> None:
+        if self.crashed:
+            return
         if isinstance(message, MtpUpdateLost):
             if self._direction(port) != "down":
                 return

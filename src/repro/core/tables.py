@@ -66,6 +66,23 @@ class VidTable:
         self._note_change()
         return sorted(vids)
 
+    def entries(self) -> list[tuple[str, Vid]]:
+        """Every (port, vid) pair currently held — the snapshot a
+        graceful restart marks stale before the tree rebuilds."""
+        return sorted((port, vid)
+                      for port, vids in self._by_port.items()
+                      for vid in vids)
+
+    def clear(self) -> None:
+        """Cold boot: wipe acquired VIDs, marks and default marks *in
+        place* (identity survives; change counters stay monotonic)."""
+        if not (self._by_port or self._marks or self._default_marks):
+            return
+        self._by_port.clear()
+        self._marks.clear()
+        self._default_marks.clear()
+        self._note_change()
+
     def prune_extensions(self, port: str, parents: Iterable[Vid]) -> list[Vid]:
         """Drop VIDs on ``port`` that descend from any of ``parents``
         (an UPDATE_LOST from the downstream neighbor)."""

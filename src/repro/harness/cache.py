@@ -41,7 +41,11 @@ from repro.harness.digest import canonical_json, payload_digest
 # 5: adaptive liveness layer — chaos payloads gained suppression / MTTR
 #    / availability fields and liveness joined stack parameter tuples;
 #    schema-4 entries miss cleanly.
-CACHE_SCHEMA = 5
+# 6: crash-resilience layer — agent_crash/agent_restart ops (scenario
+#    schema 3 -> 4), graceful_restart joined stack parameter tuples,
+#    and loaded runs carry invariant-monitor fib_* counters;
+#    schema-5 entries miss cleanly.
+CACHE_SCHEMA = 6
 
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 

@@ -115,6 +115,10 @@ class ChaosResult:
     suppression_us: int = 0            # total suppressed adjacency-time
     mttr_us: int = -1                  # mean down-to-up latency (-1: none)
     availability: float = 1.0          # uptime of transitioned adjacencies
+    fib_loops: int = 0                 # invariant monitor: loop episodes
+    fib_loop_us: int = 0               # longest loop episode
+    fib_blackholes: int = 0            # invariant monitor: blackhole episodes
+    fib_blackhole_us: int = 0          # longest blackhole episode
     workload: Optional[dict] = None    # WorkloadReport payload, if loaded
 
     @property
@@ -168,9 +172,16 @@ def run_chaos_point(spec: ChaosPointSpec) -> ChaosOutcome:
     # workload is flow-level (no frames on the wire), so it can overlap
     # the quiet window without proving liveness to the detectors.
     engine = None
+    inv_monitor = None
     if spec.workload is not None:
+        # loaded points run the invariant monitor: its checks ride the
+        # engine's route-change epochs (probe-only points stay
+        # monitor-free, keeping their payloads and digests unchanged)
+        from repro.resilience.invariants import InvariantMonitor
+
+        inv_monitor = InvariantMonitor(topo, deployment)
         engine = FluidWorkload(resolve_workload(spec.workload), topo,
-                               deployment)
+                               deployment, monitor=inv_monitor)
         engine.start()
     monitor.observe_for(spec.window_ms * MILLISECOND)
     stats = liveness_stats(
@@ -207,6 +218,13 @@ def run_chaos_point(spec: ChaosPointSpec) -> ChaosOutcome:
         analyzer.close()
     if engine is not None:
         result.workload = engine.finish().to_payload()
+    if inv_monitor is not None:
+        inv_monitor.check()
+        inv_monitor.finalize()
+        result.fib_loops = inv_monitor.loops
+        result.fib_loop_us = inv_monitor.loop_us
+        result.fib_blackholes = inv_monitor.blackholes
+        result.fib_blackhole_us = inv_monitor.blackhole_us
     monitor.detach()
     result.route_churn = route_churn(before, deployment.forwarding_tables())
     digest = run_digest(world.trace, _result_payload(result))
@@ -252,6 +270,12 @@ def _result_payload(result: ChaosResult) -> dict:
         "suppression_us": result.suppression_us,
         "mttr_us": result.mttr_us,
         "availability": result.availability,
+        # invariant-monitor counters appear only when nonzero, so
+        # unmonitored (and anomaly-free) payloads stay byte-identical
+        **{k: getattr(result, k)
+           for k in ("fib_loops", "fib_loop_us", "fib_blackholes",
+                     "fib_blackhole_us")
+           if getattr(result, k)},
         **({"workload": result.workload} if result.workload is not None
            else {}),
     }
@@ -278,6 +302,10 @@ def decode_chaos_outcome(payload: dict) -> ChaosOutcome:
         suppression_us=payload["suppression_us"],
         mttr_us=payload["mttr_us"],
         availability=payload["availability"],
+        fib_loops=payload.get("fib_loops", 0),
+        fib_loop_us=payload.get("fib_loop_us", 0),
+        fib_blackholes=payload.get("fib_blackholes", 0),
+        fib_blackhole_us=payload.get("fib_blackhole_us", 0),
         workload=payload.get("workload"),
     )
     return ChaosOutcome(result=result, digest=payload["digest"])

@@ -90,10 +90,23 @@ class BgpDeployment:
     uses_bfd: bool
     timers: BgpTimers = field(default_factory=BgpTimers)
     liveness: Optional[LivenessConfig] = None
+    graceful_restart: bool = False
 
     def start(self) -> None:
         for speaker in self.speakers.values():
             speaker.start()
+
+    def crash_agent(self, node: str) -> None:
+        """Kill the node's bgpd: sessions drop silently, the FIB keeps
+        forwarding headless on frozen state."""
+        self.speakers[node].crash()
+
+    def restart_agent(self, node: str, cold: Optional[bool] = None) -> None:
+        """Bring bgpd back.  ``cold`` defaults to the stack's configured
+        restart mode; a whole-node restore forces ``cold=True``."""
+        if cold is None:
+            cold = not self.graceful_restart
+        self.speakers[node].restart(cold=cold)
 
     def ready(self) -> bool:
         return (self.all_established() and self.fib_complete()
@@ -115,6 +128,16 @@ class BgpDeployment:
     def forwarding_tables(self) -> dict[str, object]:
         """name -> object with .change_count / .last_change_time."""
         return {name: stack.table for name, stack in self.stacks.items()}
+
+    def route_generation(self) -> int:
+        """Version counter over everything the data plane consults: the
+        FIBs plus admin port state (a crashed bgpd leaves the FIB
+        forwarding headless, so session state itself is not an input)."""
+        gen = sum(stack.table.change_count for stack in self.stacks.values())
+        return gen + sum(
+            1 for name in self.stacks
+            for iface in self.topo.node(name).interfaces.values()
+            if not iface.admin_up)
 
     def update_categories(self) -> tuple[str, ...]:
         return ("bgp.update.tx",)
@@ -209,6 +232,7 @@ def deploy_bgp(
     bfd_timers: Optional[BfdTimers] = None,
     multipath: bool = True,
     liveness=None,
+    graceful_restart: bool = False,
 ) -> BgpDeployment:
     """Deploy RFC 7938 eBGP (+ECMP, optionally +BFD) on every router."""
     if timers is None:
@@ -252,7 +276,8 @@ def deploy_bgp(
         )
         config = BgpConfig(
             asn=plan[name], router_id=router_id, neighbors=neighbors,
-            networks=networks, multipath=multipath, timers=timers,
+            networks=networks, multipath=multipath,
+            graceful_restart=graceful_restart, timers=timers,
             bfd_timers=bfd_timers, liveness=liveness_cfg,
         )
         speaker = BgpSpeaker(
@@ -267,7 +292,8 @@ def deploy_bgp(
     servers = deploy_servers(topo)
     return BgpDeployment(topo=topo, speakers=speakers, stacks=stacks,
                          servers=servers, uses_bfd=bfd, timers=timers,
-                         liveness=liveness_cfg)
+                         liveness=liveness_cfg,
+                         graceful_restart=graceful_restart)
 
 
 # ----------------------------------------------------------------------
@@ -282,16 +308,41 @@ class MtpDeployment:
     config: MtpGlobalConfig
     timers: MtpTimers = field(default_factory=MtpTimers)
     liveness: Optional[LivenessConfig] = None
+    graceful_restart: bool = False
 
     def start(self) -> None:
         for mtp in self.mtp_nodes.values():
             mtp.start()
+
+    def crash_agent(self, node: str) -> None:
+        """Kill the node's MR-MTP agent: control goes dark, the VID
+        table keeps forwarding headless on frozen state."""
+        self.mtp_nodes[node].crash()
+
+    def restart_agent(self, node: str, cold: Optional[bool] = None) -> None:
+        """Bring the agent back.  ``cold`` defaults to the stack's
+        configured restart mode; a whole-node restore forces True."""
+        if cold is None:
+            cold = not self.graceful_restart
+        self.mtp_nodes[node].restart(cold=cold)
 
     def ready(self) -> bool:
         return self.trees_complete()
 
     def forwarding_tables(self) -> dict[str, object]:
         return {name: mtp.table for name, mtp in self.mtp_nodes.items()}
+
+    def route_generation(self) -> int:
+        """Version counter over everything the data plane consults: VID
+        tables plus neighbor usability (``fib_gen``) plus admin port
+        state.  Graceful restart changes forwarding behavior without a
+        table write, so table change-counts alone under-sample."""
+        gen = sum(mtp.table.change_count + mtp.fib_gen
+                  for mtp in self.mtp_nodes.values())
+        return gen + sum(
+            1 for name in self.mtp_nodes
+            for iface in self.topo.node(name).interfaces.values()
+            if not iface.admin_up)
 
     def update_categories(self) -> tuple[str, ...]:
         return ("mtp.update.tx",)
@@ -393,6 +444,8 @@ def deploy_mtp(
     timers: Optional[MtpTimers] = None,
     per_packet_spray: bool = False,
     liveness=None,
+    graceful_restart: bool = False,
+    stale_hold_us: Optional[int] = None,
 ) -> MtpDeployment:
     """Deploy MR-MTP on every router (ToRs keep a rack-side IP shim)."""
     if timers is None:
@@ -421,9 +474,12 @@ def deploy_mtp(
             rng=topo.world.rng.stream(f"mtp-{name}"),
             per_packet_spray=per_packet_spray,
             liveness=liveness_cfg,
+            graceful_restart=graceful_restart,
+            stale_hold_us=stale_hold_us,
         )
     servers = deploy_servers(topo)
     return MtpDeployment(topo=topo, mtp_nodes=mtp_nodes,
                          tor_stacks=tor_stacks, servers=servers,
                          config=config, timers=timers,
-                         liveness=liveness_cfg)
+                         liveness=liveness_cfg,
+                         graceful_restart=graceful_restart)

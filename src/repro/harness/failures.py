@@ -46,9 +46,12 @@ class InjectedFailure:
 
 
 class FailureInjector:
-    def __init__(self, world: World) -> None:
+    def __init__(self, world: World, deployment=None) -> None:
         self.world = world
+        self.deployment = deployment
         self.events: list[InjectedFailure] = []
+        self._crashed_agents: set[str] = set()
+        self._down_nodes: set[str] = set()
 
     # ------------------------------------------------------------------
     def _checked_node(self, node_name: str):
@@ -191,18 +194,127 @@ class FailureInjector:
         peer.node.impairment_cleared(peer)
 
     # ------------------------------------------------------------------
+    # agent lifecycle (control-plane crash / restart)
+    # ------------------------------------------------------------------
+    def _require_deployment(self) -> None:
+        if self.deployment is None:
+            raise ValueError(
+                "agent crash/restart requires a FailureInjector bound to "
+                "a deployment: FailureInjector(world, deployment)")
+
+    def crash_agent(self, node_name: str, at: Optional[int] = None) -> None:
+        """Kill the node's routing agent.  The data plane keeps
+        forwarding on the frozen tables (headless forwarding); peers
+        find out through their own liveness timers."""
+        self._checked_node(node_name)
+        self._require_deployment()
+        if at is None:
+            self._do_agent(node_name, False)
+        else:
+            self.world.sim.schedule_at(at, self._do_agent, node_name, False)
+
+    def restart_agent(self, node_name: str, at: Optional[int] = None,
+                      cold: Optional[bool] = None) -> None:
+        """Bring the agent back.  ``cold=None`` follows the stack's
+        configured restart mode (graceful when the stack supports it)."""
+        self._checked_node(node_name)
+        self._require_deployment()
+        if at is None:
+            self._do_agent(node_name, True, cold)
+        else:
+            self.world.sim.schedule_at(at, self._do_agent, node_name,
+                                       True, cold)
+
+    def _do_agent(self, node_name: str, up: bool,
+                  cold: Optional[bool] = None) -> None:
+        crashed = node_name in self._crashed_agents
+        if up != crashed:
+            # validated no-op: restarting a healthy agent or crashing an
+            # already-dead one must not double-drive protocol state
+            self.world.trace.emit(
+                node_name, "fail.agent",
+                f"{'restart' if up else 'crash'} no-op")
+            return
+        self.events.append(InjectedFailure(
+            node=node_name, interface="agent",
+            time=self.world.sim.now, kind="up" if up else "down"))
+        if up:
+            self._crashed_agents.discard(node_name)
+            self.world.trace.emit(node_name, "fail.agent", "restart")
+            self.deployment.restart_agent(node_name, cold=cold)
+        else:
+            self._crashed_agents.add(node_name)
+            self.world.trace.emit(node_name, "fail.agent", "crash")
+            self.deployment.crash_agent(node_name)
+
+    # ------------------------------------------------------------------
     # extended failure cases (paper section IX future work)
     # ------------------------------------------------------------------
     def fail_node(self, node_name: str, at: Optional[int] = None) -> None:
-        """Whole-device failure: every interface goes down at once."""
-        node = self._checked_node(node_name)
-        for iface_name in list(node.interfaces):
-            self.fail_interface(node_name, iface_name, at=at)
+        """Whole-device power loss: the routing agent dies with the
+        power, then every interface drops at once.  One ``fail.node``
+        trace record covers the outage (not N per-link episodes); the
+        per-interface ``InjectedFailure`` events still feed the
+        fault-window accounting."""
+        self._checked_node(node_name)
+        if at is None:
+            self._do_node(node_name, False)
+        else:
+            self.world.sim.schedule_at(at, self._do_node, node_name, False)
 
     def restore_node(self, node_name: str, at: Optional[int] = None) -> None:
-        node = self._checked_node(node_name)
-        for iface_name in list(node.interfaces):
-            self.restore_interface(node_name, iface_name, at=at)
+        """Power the device back on: interfaces come up, then the agent
+        cold-boots — protocol *and* forwarding state start empty."""
+        self._checked_node(node_name)
+        if at is None:
+            self._do_node(node_name, True)
+        else:
+            self.world.sim.schedule_at(at, self._do_node, node_name, True)
+
+    def _do_node(self, node_name: str, up: bool) -> None:
+        is_down = node_name in self._down_nodes
+        if up != is_down:
+            self.world.trace.emit(
+                node_name, "fail.node" if not up else "restore.node",
+                "no-op")
+            return
+        node = self.world.nodes[node_name]
+        now = self.world.sim.now
+        kind = "up" if up else "down"
+        if not up:
+            self._down_nodes.add(node_name)
+            # the agent goes first: interface-down handlers must see a
+            # dead control plane, exactly as a power cut would order it
+            if (self.deployment is not None
+                    and node_name not in self._crashed_agents):
+                self._crashed_agents.add(node_name)
+                self.events.append(InjectedFailure(
+                    node=node_name, interface="agent", time=now, kind="down"))
+                self.deployment.crash_agent(node_name)
+            self.world.trace.emit(node_name, "fail.node",
+                                  f"down ({len(node.interfaces)} interfaces)")
+            for iface_name in list(node.interfaces):
+                self.events.append(InjectedFailure(
+                    node=node_name, interface=iface_name, time=now,
+                    kind=kind))
+                node.interfaces[iface_name].set_admin(False)
+        else:
+            self._down_nodes.discard(node_name)
+            self.world.trace.emit(node_name, "restore.node",
+                                  f"up ({len(node.interfaces)} interfaces)")
+            for iface_name in list(node.interfaces):
+                self.events.append(InjectedFailure(
+                    node=node_name, interface=iface_name, time=now,
+                    kind=kind))
+                node.interfaces[iface_name].set_admin(True)
+            # cold boot after the ports are up: a power-cycled device
+            # keeps nothing
+            if (self.deployment is not None
+                    and node_name in self._crashed_agents):
+                self._crashed_agents.discard(node_name)
+                self.events.append(InjectedFailure(
+                    node=node_name, interface="agent", time=now, kind="up"))
+                self.deployment.restart_agent(node_name, cold=True)
 
     def cut_link(self, node_a: str, node_b: str,
                  at: Optional[int] = None) -> None:

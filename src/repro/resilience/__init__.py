@@ -1,0 +1,14 @@
+"""Control-plane crash resilience: agent lifecycle + invariant monitor.
+
+The package owns the *judgment* side of crash testing: while
+:mod:`repro.harness.failures` drives agent crashes, cold boots and
+graceful restarts, the :class:`InvariantMonitor` here watches the live
+forwarding state at every route-change epoch and records when the data
+plane is actually *wrong* — forwarding loops and oracle-visible
+blackholes — turning the chaos suite from "how fast do you detect" into
+"is the data plane ever wrong, and for how long".
+"""
+
+from repro.resilience.invariants import AnomalyEpisode, InvariantMonitor
+
+__all__ = ["AnomalyEpisode", "InvariantMonitor"]

@@ -106,6 +106,19 @@ class RoutingTable:
             return True
         return False
 
+    def flush_proto(self, proto: str) -> list[Ipv4Network]:
+        """Remove every route learned from ``proto`` *in place* (the
+        table object survives: a cold boot wipes state, not identity, so
+        change counters stay monotonic and holders keep their reference).
+        Returns the withdrawn prefixes."""
+        doomed = [p for p, r in self._routes.items() if r.proto == proto]
+        for prefix in doomed:
+            del self._routes[prefix]
+        if doomed:
+            self._refresh_lengths()
+            self._note_change()
+        return doomed
+
     def get(self, prefix: Ipv4Network) -> Optional[Route]:
         return self._routes.get(prefix)
 

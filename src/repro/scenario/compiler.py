@@ -37,6 +37,7 @@ from repro.harness.metrics import (
     route_churn,
     snapshot_table_change_counts,
 )
+from repro.resilience.invariants import InvariantMonitor
 from repro.scenario.model import DOWN_OPS, Scenario, ScenarioError
 from repro.scenario.targets import TargetResolver
 from repro.traffic.generator import ReceiverAnalyzer, TrafficSender
@@ -46,7 +47,8 @@ from repro.workload.engine import FluidWorkload
 # a scheduled workload re-solves its rate allocation right after each
 # (1 us later, so the injector has already run within the same tick)
 ROUTE_CHANGE_OPS = ("iface_down", "iface_up", "link_cut", "link_restore",
-                    "node_crash", "node_restart", "flap_train", "impair",
+                    "node_crash", "node_restart", "agent_crash",
+                    "agent_restart", "flap_train", "impair",
                     "clear_impairment")
 
 # default flow selector for the first traffic burst; later bursts step
@@ -85,6 +87,10 @@ class ScenarioMetrics:
     false_positives: int = 0       # unexplained timer-based detections
     flaps: int = 0                 # adjacency/session up-transitions
     route_churn: int = 0           # total table changes (stability score)
+    fib_loops: int = 0             # invariant monitor: loop episodes
+    fib_loop_us: int = 0           # longest loop episode
+    fib_blackholes: int = 0        # invariant monitor: blackhole episodes
+    fib_blackhole_us: int = 0      # longest blackhole episode
     checkpoints: list[Checkpoint] = field(default_factory=list)
     workload: Optional[dict] = None  # WorkloadReport payload, if loaded
 
@@ -120,11 +126,13 @@ class CompiledScenario:
     computed, ready to execute exactly once."""
 
     def __init__(self, scenario: Scenario, world: World,
-                 topo: Topology, deployment) -> None:
+                 topo: Topology, deployment,
+                 invariants: bool = False) -> None:
         self.scenario = scenario
         self.world = world
         self.topo = topo
         self.deployment = deployment
+        self.invariants = invariants
         self._executed = False
         resolver = TargetResolver(topo)
         self.actions = [self._resolve(event, resolver, index)
@@ -134,6 +142,14 @@ class CompiledScenario:
             raise ScenarioError(
                 f"scenario {scenario.name!r}: at most one workload op "
                 f"per scenario (one fluid engine owns the run's load)")
+        # the invariant monitor attaches on loaded runs (its checks ride
+        # the workload's route-change epochs for free) or on explicit
+        # request; never on a plain baseline run, whose trace and
+        # metrics stay byte-identical with the pre-monitor era
+        has_workload = any(a[0] == "workload" for a in self.actions)
+        self._inv_monitor: Optional[InvariantMonitor] = (
+            InvariantMonitor(topo, deployment)
+            if (has_workload or invariants) else None)
 
     # ------------------------------------------------------------------
     def _resolve(self, event, resolver: TargetResolver, index: int):
@@ -142,7 +158,8 @@ class CompiledScenario:
             return (event.op, at_us, resolver.interface(event.target))
         if event.op in ("link_cut", "link_restore"):
             return (event.op, at_us, resolver.link(event.target))
-        if event.op in ("node_crash", "node_restart"):
+        if event.op in ("node_crash", "node_restart",
+                        "agent_crash", "agent_restart"):
             return (event.op, at_us, resolver.node(event.target))
         if event.op == "flap_train":
             up_ms = event.up_ms if event.up_ms is not None else event.down_ms
@@ -195,7 +212,7 @@ class CompiledScenario:
 
         monitor = ConvergenceMonitor(world, deployment.update_categories())
         before = snapshot_table_change_counts(deployment.forwarding_tables())
-        injector = FailureInjector(world)
+        injector = FailureInjector(world, deployment)
         monitor.arm()
         start = world.sim.now
 
@@ -219,6 +236,17 @@ class CompiledScenario:
                 if action[0] in ROUTE_CHANGE_OPS:
                     world.sim.schedule_at(start + action[1] + 1,
                                           engine.mark_epoch)
+        elif self._inv_monitor is not None:
+            # invariants-only mode: with no workload engine driving
+            # epoch checks, scan right after each route-changing action
+            # and again once (and twice) the detection bound later, when
+            # liveness timers have fired and reconvergence has played
+            bound = deployment.detection_bound_us()
+            for action in self.actions:
+                if action[0] in ROUTE_CHANGE_OPS:
+                    for delay in (1, bound + 1, 2 * bound + 1):
+                        world.sim.schedule_at(start + action[1] + delay,
+                                              self._inv_monitor.check)
 
         quiet_us = scenario.quiet_ms * MILLISECOND
         min_wait_us = (self.horizon_us + deployment.detection_bound_us()
@@ -259,6 +287,15 @@ class CompiledScenario:
             # finish() already fired at the workload's scheduled end;
             # calling it again just returns the settled report
             metrics.workload = engines[0].finish().to_payload()
+        if self._inv_monitor is not None:
+            # one last scan on the quiesced fabric, then close any
+            # still-open anomaly episodes as ongoing
+            self._inv_monitor.check()
+            self._inv_monitor.finalize()
+            metrics.fib_loops = self._inv_monitor.loops
+            metrics.fib_loop_us = self._inv_monitor.loop_us
+            metrics.fib_blackholes = self._inv_monitor.blackholes
+            metrics.fib_blackhole_us = self._inv_monitor.blackhole_us
         return metrics
 
     # ------------------------------------------------------------------
@@ -283,6 +320,10 @@ class CompiledScenario:
         elif op in ("node_crash", "node_restart"):
             call = (injector.fail_node if op == "node_crash"
                     else injector.restore_node)
+            call(action[2], at=when)
+        elif op in ("agent_crash", "agent_restart"):
+            call = (injector.crash_agent if op == "agent_crash"
+                    else injector.restart_agent)
             call(action[2], at=when)
         elif op == "impair":
             (_, _, (node, iface), profile, direction) = action
@@ -310,7 +351,8 @@ class CompiledScenario:
                                  src_port=src_port, gap_us=gap_us))
         elif op == "workload":
             wl_spec = action[2]
-            engine = FluidWorkload(wl_spec, self.topo, self.deployment)
+            engine = FluidWorkload(wl_spec, self.topo, self.deployment,
+                                   monitor=self._inv_monitor)
             engines.append(engine)
             if at_us == 0:
                 engine.start()
@@ -358,6 +400,11 @@ class CompiledScenario:
 
 
 def compile_scenario(scenario: Scenario, world: World, topo: Topology,
-                     deployment) -> CompiledScenario:
-    """Resolve ``scenario`` against a built, converged fabric."""
-    return CompiledScenario(scenario, world, topo, deployment)
+                     deployment,
+                     invariants: bool = False) -> CompiledScenario:
+    """Resolve ``scenario`` against a built, converged fabric.
+
+    ``invariants=True`` attaches the runtime invariant monitor even on
+    a workload-free run (loaded runs always attach it)."""
+    return CompiledScenario(scenario, world, topo, deployment,
+                            invariants=invariants)

@@ -14,8 +14,12 @@ Thirteen shipped scenarios, runnable on any registered stack via
   aggregation's paths (the FatPaths-style correlated failure pattern);
 * ``drain`` — maintenance drain-and-upgrade: a whole aggregation goes
   dark, sits in maintenance, and returns;
-* ``rolling-restart`` — both first-pod aggregations restart in
-  sequence, with measure checkpoints between the waves;
+* ``rolling-restart`` — a pod-batched control-plane upgrade: each
+  pod's aggregation *agents* crash together and restart 40 ms later
+  under a permutation workload, with measure checkpoints between the
+  waves: the cold-vs-graceful restart experiment (restart mode follows
+  the stack — ``bgp-gr``/``mtp-gr`` restart gracefully, everything
+  else cold-boots);
 * ``gray-uplink`` — an asymmetric gray failure: one *direction* of a
   ToR uplink turns lossy and corrupting under crossing traffic.  The
   link is degraded, never down, so every timer-based down-declaration
@@ -115,18 +119,32 @@ DRAIN = Scenario(
 
 ROLLING_RESTART = Scenario(
     name="rolling-restart",
-    description="rolling upgrade of the first pod's aggregations: each "
-                "restarts in turn with a measure checkpoint between waves",
+    description="pod-batched control-plane upgrade under a permutation "
+                "workload: both aggregation agents of pod 1, then of "
+                "pod 2, crash and restart 40 ms later — inside every "
+                "peer's detection window, so during each wave nobody "
+                "can route around the batch.  A cold boot wipes the "
+                "batch's tables while traffic still arrives (the "
+                "blackhole window GR exists to close); a graceful "
+                "restart keeps forwarding throughout",
     settle="keepalive-phase",
     quiet_ms=1000,
     max_wait_ms=60_000,
     events=(
-        ScenarioEvent(op="node_crash", at_ms=0, target="agg[0][0]"),
-        ScenarioEvent(op="node_restart", at_ms=1500, target="agg[0][0]"),
-        ScenarioEvent(op="measure", at_ms=3000, label="wave-1"),
-        ScenarioEvent(op="node_crash", at_ms=3000, target="agg[0][1]"),
-        ScenarioEvent(op="node_restart", at_ms=4500, target="agg[0][1]"),
-        ScenarioEvent(op="measure", at_ms=6000, label="wave-2"),
+        ScenarioEvent(op="workload", at_ms=0, workload={
+            "name": "rolling-restart", "matrix": "permutation",
+            "flows": 300, "duration_ms": 3200, "epoch_ms": 5,
+        }),
+        ScenarioEvent(op="agent_crash", at_ms=0, target="agg[0][0]"),
+        ScenarioEvent(op="agent_crash", at_ms=0, target="agg[0][1]"),
+        ScenarioEvent(op="agent_restart", at_ms=40, target="agg[0][0]"),
+        ScenarioEvent(op="agent_restart", at_ms=40, target="agg[0][1]"),
+        ScenarioEvent(op="measure", at_ms=1500, label="wave-1"),
+        ScenarioEvent(op="agent_crash", at_ms=1500, target="agg[1][0]"),
+        ScenarioEvent(op="agent_crash", at_ms=1500, target="agg[1][1]"),
+        ScenarioEvent(op="agent_restart", at_ms=1540, target="agg[1][0]"),
+        ScenarioEvent(op="agent_restart", at_ms=1540, target="agg[1][1]"),
+        ScenarioEvent(op="measure", at_ms=3000, label="wave-2"),
     ),
 )
 

@@ -32,7 +32,9 @@ from repro.workload.spec import WorkloadError, resolve_workload
 # embedded in every serialized scenario and in every scenario cache key.
 # Schema 2 added the impair/clear_impairment ops (gray failures).
 # Schema 3 added the workload op (flow-level load under faults).
-SCENARIO_SCHEMA = 3
+# Schema 4 added the agent_crash/agent_restart ops (control-plane crash
+# with headless forwarding; restart follows the stack's restart mode).
+SCENARIO_SCHEMA = 4
 
 
 class ScenarioError(ValueError):
@@ -41,7 +43,8 @@ class ScenarioError(ValueError):
 
 # op -> (required fields, optional fields) beyond the common op/at_ms
 _FAULT_OPS = ("iface_down", "iface_up", "link_cut", "link_restore",
-              "node_crash", "node_restart", "flap_train")
+              "node_crash", "node_restart", "agent_crash", "agent_restart",
+              "flap_train")
 _EVENT_FIELDS: dict[str, tuple[tuple[str, ...], tuple[str, ...]]] = {
     "iface_down": (("target",), ()),
     "iface_up": (("target",), ()),
@@ -49,6 +52,8 @@ _EVENT_FIELDS: dict[str, tuple[tuple[str, ...], tuple[str, ...]]] = {
     "link_restore": (("target",), ()),
     "node_crash": (("target",), ()),
     "node_restart": (("target",), ()),
+    "agent_crash": (("target",), ()),
+    "agent_restart": (("target",), ()),
     "flap_train": (("target", "count", "down_ms"), ("up_ms",)),
     "traffic_burst": (("src", "dst", "rate_pps", "count"), ("src_port",)),
     "pause": (("duration_ms",), ()),
@@ -63,7 +68,10 @@ _EVENT_FIELDS: dict[str, tuple[tuple[str, ...], tuple[str, ...]]] = {
 # events that begin an outage (used for the detection-time metric).
 # impair is deliberately NOT here: an impaired link is degraded, not
 # down, so any down-declaration it provokes is a false positive.
-DOWN_OPS = ("iface_down", "link_cut", "node_crash", "flap_train")
+# agent_crash IS here: the silent control plane is a real outage that
+# peers must detect through their own liveness machinery.
+DOWN_OPS = ("iface_down", "link_cut", "node_crash", "agent_crash",
+            "flap_train")
 
 
 @dataclass(frozen=True)

@@ -41,6 +41,7 @@ class ScenarioRunSpec:
     stack: StackSpec
     scenario: Scenario
     seed: int
+    invariants: bool = False   # attach the monitor on workload-free runs
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "params",
@@ -62,6 +63,7 @@ def run_scenario(
     seed: int = 0,
     timers: Optional[StackTimers] = None,
     return_world: bool = False,
+    invariants: bool = False,
 ):
     """Build a fresh fabric, converge the stack, execute the scenario."""
     spec = resolve_spec(stack, timers)
@@ -69,7 +71,8 @@ def run_scenario(
     # scenario itself plays after convergence, on the measured clock
     world, topo, deployment = build_and_converge(
         params, spec, seed, max_converge_us=60 * SECOND)
-    program = compile_scenario(scenario, world, topo, deployment)
+    program = compile_scenario(scenario, world, topo, deployment,
+                               invariants=invariants)
     metrics = program.execute(spec.name, seed)
     if return_world:
         return metrics, world
@@ -79,7 +82,8 @@ def run_scenario(
 def run_scenario_task(spec: ScenarioRunSpec) -> ScenarioOutcome:
     """The parallel worker (top-level so the process pool can pickle it)."""
     metrics, world = run_scenario(spec.scenario, spec.params, spec.stack,
-                                  spec.seed, return_world=True)
+                                  spec.seed, return_world=True,
+                                  invariants=spec.invariants)
     digest = run_digest(world.trace, _metrics_payload(metrics))
     return ScenarioOutcome(metrics=metrics, digest=digest)
 
@@ -90,8 +94,7 @@ def run_scenario_task(spec: ScenarioRunSpec) -> ScenarioOutcome:
 def scenario_task_key(spec: ScenarioRunSpec) -> str:
     """Content hash of one scenario run: the canonical scenario payload
     enters the key, so editing a scenario invalidates only its entries."""
-    return task_key(
-        "scenario-run",
+    components = dict(
         params=spec.params,
         stack=spec.stack.name,
         stack_params=spec.stack.params,
@@ -99,6 +102,11 @@ def scenario_task_key(spec: ScenarioRunSpec) -> str:
         scenario=spec.scenario.to_payload(),
         seed=spec.seed,
     )
+    if spec.invariants:
+        # only monitored workload-free runs carry the key component, so
+        # every pre-existing cache key stays unchanged
+        components["invariants"] = True
+    return task_key("scenario-run", **components)
 
 
 def _metrics_payload(metrics: ScenarioMetrics) -> dict:
@@ -123,6 +131,14 @@ def _metrics_payload(metrics: ScenarioMetrics) -> dict:
         "checkpoints": [[c.label, c.time_us, c.update_count, c.update_bytes]
                         for c in metrics.checkpoints],
     }
+    # invariant-monitor counters appear only when nonzero, so unmonitored
+    # (and anomaly-free) payloads — and their run digests — stay
+    # byte-identical with the pre-monitor era
+    for name in ("fib_loops", "fib_loop_us", "fib_blackholes",
+                 "fib_blackhole_us"):
+        value = getattr(metrics, name)
+        if value:
+            payload[name] = value
     if metrics.workload is not None:
         # only loaded runs carry the key: workload-free payloads (and so
         # their run digests) stay byte-identical with the pre-workload era
@@ -153,6 +169,10 @@ def decode_scenario_outcome(payload: dict) -> ScenarioOutcome:
         false_positives=payload["false_positives"],
         flaps=payload["flaps"],
         route_churn=payload["route_churn"],
+        fib_loops=payload.get("fib_loops", 0),
+        fib_loop_us=payload.get("fib_loop_us", 0),
+        fib_blackholes=payload.get("fib_blackholes", 0),
+        fib_blackhole_us=payload.get("fib_blackhole_us", 0),
         checkpoints=[Checkpoint(label=c[0], time_us=c[1], update_count=c[2],
                                 update_bytes=c[3])
                      for c in payload["checkpoints"]],
@@ -170,12 +190,13 @@ def scenario_suite_specs(
     stacks: Sequence,
     seed: int = 0,
     timers: Optional[StackTimers] = None,
+    invariants: bool = False,
 ) -> list[ScenarioRunSpec]:
     """Expand a suite into its independent per-run tasks, stack-major so
     one stack's scenarios sit together in reports."""
     return [
         ScenarioRunSpec(params=params, stack=resolve_spec(stack, timers),
-                        scenario=scenario, seed=seed)
+                        scenario=scenario, seed=seed, invariants=invariants)
         for stack in stacks
         for scenario in scenarios
     ]
@@ -197,6 +218,7 @@ def run_scenario_suite(
     report: Optional[FanoutReport] = None,
     policy: Optional[RetryPolicy] = None,
     supervisor: Optional[SupervisorReport] = None,
+    invariants: bool = False,
 ) -> list[Optional[ScenarioOutcome]]:
     """Run every scenario on every stack, fanned out over ``jobs``
     workers and replayed from ``cache`` when given.
@@ -205,7 +227,8 @@ def run_scenario_suite(
     the fault-tolerant supervisor: quarantined runs come back ``None``,
     the rest of the suite completes.
     """
-    specs = scenario_suite_specs(params, scenarios, stacks, seed, timers)
+    specs = scenario_suite_specs(params, scenarios, stacks, seed, timers,
+                                 invariants=invariants)
     if policy is not None or supervisor is not None:
         return supervise_tasks(
             specs, run_scenario_task, jobs=jobs, policy=policy,

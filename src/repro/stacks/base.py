@@ -70,6 +70,16 @@ class Deployment(Protocol):
     Implementations additionally expose ``topo`` (the built topology) and
     ``servers`` (name -> host with a ``udp`` service) as attributes; the
     traffic experiments use both.
+
+    Optionally, a deployment may implement the agent-lifecycle pair
+    ``crash_agent(node)`` / ``restart_agent(node, cold=None)`` (the
+    builtin MTP and BGP deployments do): ``crash_agent`` kills the
+    node's control plane silently while the data plane keeps forwarding
+    on the frozen tables, and ``restart_agent`` boots it back — cold
+    (forwarding state wiped) or gracefully (stale state retained and
+    re-confirmed), defaulting to the stack's configured restart mode.
+    The failure injector and scenario compiler probe for the pair with
+    ``getattr``; stacks without it simply reject ``agent_crash`` events.
     """
 
     def start(self) -> None:

@@ -47,21 +47,26 @@ _KIND_NAMES = {
 # ----------------------------------------------------------------------
 def deploy_mtp_stack(topo: Any, timers: StackTimers, *,
                      per_packet_spray: bool = False,
-                     liveness: Any = False):
+                     liveness: Any = False,
+                     graceful_restart: bool = False,
+                     stale_hold_us: Optional[int] = None):
     from repro.harness.deploy import deploy_mtp
 
     return deploy_mtp(topo, timers=timers.mtp,
                       per_packet_spray=per_packet_spray,
-                      liveness=liveness)
+                      liveness=liveness,
+                      graceful_restart=graceful_restart,
+                      stale_hold_us=stale_hold_us)
 
 
 def deploy_bgp_stack(topo: Any, timers: StackTimers, *, bfd: bool = False,
-                     multipath: bool = True, liveness: Any = False):
+                     multipath: bool = True, liveness: Any = False,
+                     graceful_restart: bool = False):
     from repro.harness.deploy import deploy_bgp
 
     return deploy_bgp(topo, bfd=bfd, timers=timers.bgp,
                       bfd_timers=timers.bfd, multipath=multipath,
-                      liveness=liveness)
+                      liveness=liveness, graceful_restart=graceful_restart)
 
 
 def render_mtp_config(topo: Any, timers: Optional[StackTimers] = None,
@@ -75,11 +80,13 @@ def render_mtp_config(topo: Any, timers: Optional[StackTimers] = None,
 
 def render_bgp_config(topo: Any, timers: Optional[StackTimers] = None,
                       node: Optional[str] = None, *, bfd: bool = False,
-                      multipath: bool = True, liveness: Any = False) -> str:
+                      multipath: bool = True, liveness: Any = False,
+                      graceful_restart: bool = False) -> str:
     """Listing 1: one router's FRR-style configuration."""
     bundle = timers if timers is not None else StackTimers()
     deployment = deploy_bgp_stack(topo, bundle, bfd=bfd,
-                                  multipath=multipath, liveness=liveness)
+                                  multipath=multipath, liveness=liveness,
+                                  graceful_restart=graceful_restart)
     # prefer a top spine; fabrics without a top tier (recursive DCNs)
     # show their first router instead
     node = node or (topo.all_tops() or topo.routers())[0]

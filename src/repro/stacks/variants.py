@@ -67,6 +67,34 @@ MTP_ADAPTIVE = register_stack(StackDefinition(
     render_config=render_mtp_config,
 ))
 
+BGP_GR = register_stack(StackDefinition(
+    name="bgp-gr",
+    display="BGP/ECMP/BFD (graceful restart)",
+    description="the BGP+BFD stack with RFC 4724 graceful restart: "
+                "helpers hold a restarting peer's paths stale under the "
+                "restart timer, a restarting speaker keeps its FIB and "
+                "re-learns, flushing on End-of-RIB",
+    deploy=deploy_bgp_stack,
+    default_params={"bfd": True, "graceful_restart": True},
+    detection_bound_us=_bgp_detection_bound_us,
+    keepalive_period_us=_bgp_keepalive_period_us,
+    render_config=render_bgp_config,
+))
+
+MTP_GR = register_stack(StackDefinition(
+    name="mtp-gr",
+    display="MR-MTP (graceful restart)",
+    description="MR-MTP with graceful restart: helpers hold a silent "
+                "neighbor's tree state stale instead of pruning, and a "
+                "restarting agent keeps its VID table while neighbor "
+                "re-hellos rebuild and confirm it",
+    deploy=deploy_mtp_stack,
+    default_params={"graceful_restart": True},
+    detection_bound_us=_mtp_detection_bound_us,
+    keepalive_period_us=_mtp_keepalive_period_us,
+    render_config=render_mtp_config,
+))
+
 BGP_BFD_DAMPED = register_stack(StackDefinition(
     name="bgp-bfd-damped",
     display="BGP/ECMP/BFD (damped)",

@@ -205,7 +205,7 @@ def encode_mtp_message(message: MtpMessage) -> bytes:
     if isinstance(message, (MtpKeepalive, MtpRestoredDefault)):
         return head
     if isinstance(message, MtpFullHello):
-        return head + bytes([message.tier])
+        return head + bytes([message.tier, message.gen & 0xFF])
     if isinstance(message, MtpUnreachableDefault):
         return head + _encode_roots(message.except_roots)
     if isinstance(message, tuple(_VID_LIST_TYPES.values())):
@@ -232,7 +232,7 @@ def decode_mtp_message(blob: bytes) -> MtpMessage:
         roots, _ = _decode_roots(blob, 1)
         return MtpUnreachableDefault(except_roots=roots)
     if type_code == TYPE_FULL_HELLO:
-        return MtpFullHello(tier=blob[1])
+        return MtpFullHello(tier=blob[1], gen=blob[2])
     if type_code in _VID_LIST_TYPES:
         vids, _ = _decode_vids(blob, 1)
         return _VID_LIST_TYPES[type_code](vids=vids)

@@ -153,10 +153,11 @@ class FluidWorkload:
     """
 
     def __init__(self, spec: WorkloadSpec, topo, deployment,
-                 flows: Optional[FlowSet] = None) -> None:
+                 flows: Optional[FlowSet] = None, monitor=None) -> None:
         self.spec = spec
         self.topo = topo
         self.deployment = deployment
+        self.monitor = monitor   # optional InvariantMonitor, checked per epoch
         self.sim = topo.world.sim
         if flows is None:
             flows = synthesize(spec, topo.rack_endpoints(), topo.world.rng)
@@ -182,6 +183,11 @@ class FluidWorkload:
         self.delivered = 0.0
         self.dropped = 0.0
         self.blackholed = 0.0
+        # goodput numerator/denominator: only bytes that landed *inside*
+        # the settled measurement window count — the drain's forced tail
+        # completion must not launder a blackhole pause into goodput
+        self._settled_delivered = 0.0
+        self._window_end_us = 0
         self.epoch_records: list[EpochRecord] = []
         self._peak_util = np.zeros(0)
 
@@ -381,15 +387,26 @@ class FluidWorkload:
         self._surv = np.exp(sums)
         self._surv[blackholed] = 0.0
 
+        self._table_marks = self._forwarding_marks()
+        if self.monitor is not None:
+            # every forwarding-state capture is an invariant-check
+            # instant: the monitor sees exactly the states flows ride
+            self.monitor.check()
+
+    def _forwarding_marks(self):
+        """Current forwarding-state version.  Prefers the deployment's
+        ``route_generation`` (which also counts liveness transitions —
+        graceful restart changes forwarding without a table write);
+        falls back to per-table change counters."""
+        gen = getattr(self.deployment, "route_generation", None)
+        if gen is not None:
+            return gen()
         tables = self.deployment.forwarding_tables()
-        self._table_marks = {name: getattr(t, "change_count", 0)
-                             for name, t in tables.items()}
+        return {name: getattr(t, "change_count", 0)
+                for name, t in tables.items()}
 
     def _tables_changed(self) -> bool:
-        tables = self.deployment.forwarding_tables()
-        marks = {name: getattr(t, "change_count", 0)
-                 for name, t in tables.items()}
-        return marks != self._table_marks
+        return self._forwarding_marks() != self._table_marks
 
     # ------------------------------------------------------------------
     # epoch lifecycle
@@ -491,6 +508,7 @@ class FluidWorkload:
             self.delivered += record.delivered
             self.dropped += record.dropped
             self.blackholed += record.blackholed
+            self._settled_delivered += record.delivered
 
             loads = link_loads(self._problem, rate * active)
             util = loads / np.maximum(self._problem.capacity, 1e-300)
@@ -500,6 +518,7 @@ class FluidWorkload:
                 self._peak_util = grown
             np.maximum(self._peak_util, util, out=self._peak_util)
         self.epoch_records.append(record)
+        self._window_end_us = t_end
 
     def _drain(self, t_end: int) -> None:
         """Complete every routed flow that still holds bytes at the
@@ -540,10 +559,12 @@ class FluidWorkload:
         fct = (self.fct_end[completed]
                - self.arrival_abs[completed]).astype(np.int64)
         fct_sorted = np.sort(fct)
-        span_us = max(int(self.fct_end.max()) if completed.any() else 0,
-                      self.sim.now) - self._start_us
-        goodput = (self.delivered * 8 * SECOND / span_us
-                   if span_us > 0 else 0.0)
+        # goodput over the settled measurement window only: bytes a
+        # blackhole pushed past the window (delivered by the drain's
+        # tail completion) are backlog, not goodput
+        window_us = self._window_end_us - self._start_us
+        goodput = (self._settled_delivered * 8 * SECOND / window_us
+                   if window_us > 0 else 0.0)
         unfinished_bh = int(((self.remaining > 0)
                              & self._blackholed_now).sum())
         hot = []

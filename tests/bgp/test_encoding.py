@@ -94,11 +94,15 @@ def test_notification_roundtrip():
     assert decode_message(blob) == msg
 
 
-def test_update_requires_content():
-    with pytest.raises(ValueError):
-        BgpUpdate()
+def test_update_content_validation():
+    # a fully empty UPDATE is legal: the RFC 4724 End-of-RIB marker
+    assert BgpUpdate().is_end_of_rib
+    assert not BgpUpdate(withdrawn=(net("10.0.0.0/8"),)).is_end_of_rib
     with pytest.raises(ValueError):
         BgpUpdate(nlri=(net("10.0.0.0/8"),))  # NLRI without attributes
+    with pytest.raises(ValueError):  # attributes without NLRI
+        BgpUpdate(attributes=PathAttributes(as_path=(65001,),
+                                            next_hop=ip("10.0.0.1")))
 
 
 def test_decode_rejects_bad_marker():

@@ -27,8 +27,11 @@ def test_keepalive_is_one_byte():
     assert MtpKeepalive().type_code == 0x06  # the paper's Data: 06
 
 
-def test_full_hello_is_two_bytes():
-    assert MtpFullHello(tier=3).wire_size == 2
+def test_full_hello_is_three_bytes():
+    # tier byte plus the restart-generation byte (DESIGN §15)
+    assert MtpFullHello(tier=3).wire_size == 3
+    assert MtpFullHello(tier=3).gen == 0
+    assert MtpFullHello(tier=3, gen=7).wire_size == 3
 
 
 def test_vid_list_message_sizes():

@@ -1,0 +1,42 @@
+"""The invariant monitor against the golden baselines: every TC1-TC4
+run of every baseline stack must show zero forwarding loops, and
+attaching the monitor must not move the golden metrics by a byte (the
+monitor is an observer, not a participant)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.experiments import detection_bound_us
+from repro.scenario import get_scenario, run_scenario
+from repro.topology.clos import two_pod_params
+
+from tests.harness.test_golden_metrics import GOLDEN
+
+
+@pytest.mark.parametrize("stack,case", sorted(GOLDEN))
+def test_baseline_goldens_never_loop(stack, case):
+    expected_conv, expected_bytes, expected_updates, _ = GOLDEN[(stack, case)]
+    metrics = run_scenario(get_scenario(case.lower()), two_pod_params(),
+                           stack, seed=0, invariants=True)
+    assert metrics.fib_loops == 0, (
+        f"{stack}/{case}: the monitor saw a forwarding loop in a "
+        f"baseline golden scenario")
+    # observing must not perturb: the golden numbers hold with the
+    # monitor attached
+    assert metrics.convergence_us == expected_conv
+    assert metrics.control_bytes == expected_bytes
+    assert metrics.update_count == expected_updates
+
+
+def test_transient_blackhole_is_timed_not_boolean():
+    """TC1 on plain mtp: the dead-timer window where the far leaf still
+    sprays toward the failed uplink is a real (bounded) blackhole
+    episode, and it closes once convergence completes."""
+    metrics = run_scenario(get_scenario("tc1"), two_pod_params(), "mtp",
+                           seed=0, invariants=True)
+    assert metrics.fib_blackholes > 0
+    # the window is the far side's detection problem: it lasts exactly
+    # as long as the dead timer lets the stale spray continue
+    bound = detection_bound_us("mtp")
+    assert 0 < metrics.fib_blackhole_us <= bound + 10_000

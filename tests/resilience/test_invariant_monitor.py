@@ -1,0 +1,148 @@
+"""InvariantMonitor unit coverage: crafted loops and blackholes on a
+real converged fabric (via a shimmed ``fluid_candidates``), episode
+stitching across checks, finalize semantics, and the silence guarantee
+(no trace records on a clean scan)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.experiments import build_and_converge
+from repro.resilience.invariants import BLACKHOLE, LOOP, InvariantMonitor
+from repro.sim.units import MILLISECOND
+from repro.topology.clos import two_pod_params
+
+
+@pytest.fixture
+def fabric():
+    return build_and_converge(two_pod_params(), "mtp", seed=0)
+
+
+def port_toward(topo, node: str, peer: str) -> str:
+    for name, iface in topo.node(node).interfaces.items():
+        p = iface.peer()
+        if p is not None and p.node.name == peer:
+            return name
+    raise AssertionError(f"no port {node} -> {peer}")
+
+
+def shim_candidates(deployment, dst: str, overrides: dict):
+    """Replace candidate sets for (node, dst) pairs; everything else
+    falls through to the deployment's real forwarding state."""
+    original = deployment.fluid_candidates
+
+    def patched(node, dst_tor, ingress):
+        if dst_tor == dst and node in overrides:
+            return (0, False, tuple(overrides[node]))
+        return original(node, dst_tor, ingress)
+
+    deployment.fluid_candidates = patched
+    return original
+
+
+# ----------------------------------------------------------------------
+# clean fabric: no anomalies, no side effects
+# ----------------------------------------------------------------------
+def test_converged_fabric_scans_clean(fabric):
+    world, topo, deployment = fabric
+    monitor = InvariantMonitor(topo, deployment)
+    records_before = len(world.trace.records)
+    monitor.check()
+    monitor.finalize()
+    assert monitor.episodes == []
+    assert monitor.loops == 0 and monitor.blackholes == 0
+    assert monitor.checks == 1
+    # the monitor is silent: a clean run must not perturb the digest
+    assert len(world.trace.records) == records_before
+
+
+# ----------------------------------------------------------------------
+# crafted loop: leaf and spine forward to each other
+# ----------------------------------------------------------------------
+def test_two_node_cycle_is_reported_as_a_loop(fabric):
+    world, topo, deployment = fabric
+    up = port_toward(topo, "L-1-1", "S-1-1")
+    down = port_toward(topo, "S-1-1", "L-1-1")
+    original = shim_candidates(deployment, "L-2-1",
+                               {"L-1-1": [up], "S-1-1": [down]})
+    monitor = InvariantMonitor(topo, deployment)
+    monitor.check()          # opens the loop episode at t=now
+    start = world.sim.now
+    world.run_for(2 * MILLISECOND)
+    deployment.fluid_candidates = original
+    monitor.check()          # the loop healed: episode closes here
+    end = world.sim.now
+    monitor.finalize()
+
+    loops = [e for e in monitor.episodes if e.kind == LOOP]
+    assert ("L-1-1", "L-2-1") in {(e.src_tor, e.dst_tor) for e in loops}
+    assert all(e.dst_tor == "L-2-1" and not e.ongoing
+               for e in monitor.episodes)
+    worst = max(e.duration_us for e in loops)
+    assert worst == end - start
+    assert monitor.loop_us == worst
+    # a sender caught in a cycle never reaches a drop state, so the
+    # crafted cycle must not double-report as a blackhole for L-1-1
+    assert (BLACKHOLE, "L-1-1", "L-2-1") not in {
+        (e.kind, e.src_tor, e.dst_tor) for e in monitor.episodes}
+
+
+# ----------------------------------------------------------------------
+# crafted blackhole: a leaf with no candidates while a path exists
+# ----------------------------------------------------------------------
+def test_droppable_state_with_alive_path_is_a_blackhole(fabric):
+    world, topo, deployment = fabric
+    original = shim_candidates(deployment, "L-2-1", {"L-1-1": []})
+    monitor = InvariantMonitor(topo, deployment)
+    monitor.check()
+    world.run_for(1 * MILLISECOND)
+    monitor.finalize()       # never healed: closed as ongoing
+
+    assert [(e.kind, e.src_tor, e.dst_tor, e.ongoing)
+            for e in monitor.episodes] == [
+        (BLACKHOLE, "L-1-1", "L-2-1", True)]
+    assert monitor.blackhole_us == 1 * MILLISECOND
+    deployment.fluid_candidates = original
+
+
+def test_unreachable_destination_is_not_an_anomaly(fabric):
+    """Dropping traffic the physics cannot deliver is correct: isolate
+    the destination rack entirely and the monitor must stay quiet."""
+    world, topo, deployment = fabric
+    for iface in topo.node("L-2-1").interfaces.values():
+        iface.set_admin(False)
+    world.run_for(500 * MILLISECOND)   # let the fabric reroute
+    monitor = InvariantMonitor(topo, deployment)
+    monitor.check()
+    monitor.finalize()
+    assert not any(e.dst_tor == "L-2-1" and e.kind == BLACKHOLE
+                   for e in monitor.episodes)
+
+
+# ----------------------------------------------------------------------
+# lifecycle edges
+# ----------------------------------------------------------------------
+def test_finalize_is_idempotent_and_freezes_state(fabric):
+    world, topo, deployment = fabric
+    original = shim_candidates(deployment, "L-2-1", {"L-1-1": []})
+    monitor = InvariantMonitor(topo, deployment)
+    monitor.check()
+    monitor.finalize()
+    episodes = list(monitor.episodes)
+    monitor.finalize()       # idempotent
+    monitor.check()          # post-finalize checks are ignored
+    assert monitor.episodes == episodes
+    assert monitor.checks == 1
+    deployment.fluid_candidates = original
+
+
+def test_episode_payload_roundtrip(fabric):
+    _, topo, deployment = fabric
+    original = shim_candidates(deployment, "L-2-1", {"L-1-1": []})
+    monitor = InvariantMonitor(topo, deployment)
+    monitor.check()
+    monitor.finalize()
+    (episode,) = monitor.episodes
+    assert episode.to_payload() == [
+        BLACKHOLE, "L-1-1", "L-2-1", episode.start_us, episode.end_us, 1]
+    deployment.fluid_candidates = original

@@ -1,0 +1,48 @@
+"""Serialization contract for the monitor counters: the ``fib_*``
+fields round-trip through the cache payload, appear only when nonzero
+(anomaly-free payloads stay byte-identical with the pre-monitor era),
+and old payloads without them still decode."""
+
+from __future__ import annotations
+
+from repro.scenario.compiler import ScenarioMetrics
+from repro.scenario.runner import (
+    ScenarioOutcome,
+    decode_scenario_outcome,
+    encode_scenario_outcome,
+)
+
+
+def metrics(**overrides) -> ScenarioMetrics:
+    base = dict(scenario="tc1", stack="mtp", seed=0, settle_us=100,
+                convergence_us=200, detection_us=50, control_bytes=10,
+                update_count=2, blast_routers=["S-1-1"])
+    base.update(overrides)
+    return ScenarioMetrics(**base)
+
+
+def test_zero_counters_are_omitted_from_the_payload():
+    payload = encode_scenario_outcome(
+        ScenarioOutcome(metrics=metrics(), digest="d" * 16))
+    assert not any(key.startswith("fib_") for key in payload)
+
+
+def test_nonzero_counters_roundtrip():
+    before = metrics(fib_loops=1, fib_loop_us=250, fib_blackholes=2,
+                     fib_blackhole_us=9000)
+    payload = encode_scenario_outcome(
+        ScenarioOutcome(metrics=before, digest="d" * 16))
+    assert payload["fib_loops"] == 1
+    assert payload["fib_blackhole_us"] == 9000
+    after = decode_scenario_outcome(payload).metrics
+    assert after == before
+
+
+def test_pre_monitor_payloads_still_decode():
+    payload = encode_scenario_outcome(
+        ScenarioOutcome(metrics=metrics(), digest="d" * 16))
+    for key in list(payload):
+        assert not key.startswith("fib_")
+    decoded = decode_scenario_outcome(payload).metrics
+    assert decoded.fib_loops == 0
+    assert decoded.fib_blackhole_us == 0

@@ -94,6 +94,7 @@ class TestMtpCodec:
     @pytest.mark.parametrize("message", [
         MtpKeepalive(),
         MtpFullHello(tier=3),
+        MtpFullHello(tier=2, gen=9),
         MtpAdvertise(vids=(Vid.parse("11"), Vid.parse("12.1"))),
         MtpJoin(vids=(Vid.parse("11.1.2"),)),
         MtpUpdateLost(vids=(Vid.parse("11.1"), Vid.parse("12.1"))),
